@@ -1,0 +1,316 @@
+// Benchmarks regenerating the paper's evaluation (one benchmark per
+// table/figure) plus ablation benches for the design choices DESIGN.md
+// calls out. Simulated cycle counts are reported as custom metrics, so
+// `go test -bench . -benchmem` reproduces the paper's series alongside
+// the host-side compile costs.
+package marion
+
+import (
+	"fmt"
+	"testing"
+
+	"marion/internal/cdag"
+	"marion/internal/driver"
+	"marion/internal/experiments"
+	"marion/internal/livermore"
+	"marion/internal/maril"
+	"marion/internal/sched"
+	"marion/internal/sim"
+	"marion/internal/strategy"
+	"marion/internal/targets"
+)
+
+// BenchmarkTable1Descriptions measures the code generator generator: the
+// time to turn the three Maril descriptions into machine tables, and
+// prints Table 1 once.
+func BenchmarkTable1Descriptions(b *testing.B) {
+	rows, err := experiments.Table1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + experiments.FormatTable1(rows))
+	for _, name := range []string{"m88000", "r2000", "i860"} {
+		src, _ := targets.Source(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := maril.Parse(name, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2SourceSize prints the system-size table (the paper's
+// Table 2 analogue); the measured work is the line count itself.
+func BenchmarkTable2SourceSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable2(rows))
+		}
+	}
+}
+
+// BenchmarkTable3Compile measures back end compile time per target and
+// strategy over the Livermore suite — the paper's Table 3 rows. IPS runs
+// slower than Postpass (it schedules twice) and RASE slower again (it
+// schedules four times); the i860 compiles slowest.
+func BenchmarkTable3Compile(b *testing.B) {
+	for _, target := range []string{"r2000", "i860"} {
+		for _, st := range []strategy.Kind{strategy.Postpass, strategy.IPS, strategy.RASE} {
+			b.Run(fmt.Sprintf("%s/%s", target, st), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for k := range livermore.Kernels {
+						if _, err := livermore.Build(&livermore.Kernels[k], target, st); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable4Kernels simulates each Livermore kernel on the R2000
+// (cache on) under Postpass, reporting simulated cycles and the
+// actual/estimated ratio as custom metrics — the paper's Table 4 series.
+func BenchmarkTable4Kernels(b *testing.B) {
+	for k := range livermore.Kernels {
+		kern := &livermore.Kernels[k]
+		b.Run(fmt.Sprintf("loop%d", kern.ID), func(b *testing.B) {
+			c, err := livermore.Build(kern, "r2000", strategy.Postpass)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles int64
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				s := sim.New(c.Prog, sim.Options{Cache: sim.DefaultCache()})
+				if _, err := s.Run("init"); err != nil {
+					b.Fatal(err)
+				}
+				st, err := s.Run("kern", sim.Int(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = st.Cycles
+				var est int64
+				for blk, n := range st.BlockCounts {
+					est += int64(blk.SchedCost) * n
+				}
+				if est > 0 {
+					ratio = float64(st.Cycles) / float64(est)
+				}
+			}
+			b.ReportMetric(float64(cycles), "simcycles")
+			b.ReportMetric(ratio, "actual/est")
+		})
+	}
+}
+
+// BenchmarkFigure7 regenerates the i860 dual-operation schedule.
+func BenchmarkFigure7(b *testing.B) {
+	var out string
+	var err error
+	for i := 0; i < b.N; i++ {
+		out, err = experiments.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkStrategySpeedup reports total simulated cycles per strategy
+// over the Livermore suite (the §5 comparison: IPS/RASE vs Postpass vs
+// the local-allocation baseline).
+func BenchmarkStrategySpeedup(b *testing.B) {
+	for _, st := range []strategy.Kind{strategy.Local, strategy.Naive, strategy.Postpass, strategy.IPS, strategy.RASE} {
+		b.Run(st.String(), func(b *testing.B) {
+			var total int64
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for k := range livermore.Kernels {
+					c, err := livermore.Build(&livermore.Kernels[k], "r2000", st)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_, stats, err := livermore.Run(c, 1, sim.CacheConfig{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += stats.Cycles
+				}
+			}
+			b.ReportMetric(float64(total), "simcycles")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §5): each reports simulated cycles with one
+// scheduler mechanism changed.
+
+func ablationCycles(b *testing.B, opts strategy.Options, target string, ids []int) int64 {
+	b.Helper()
+	var total int64
+	for _, id := range ids {
+		k := livermore.ByID(id)
+		c, err := driver.Compile(fmt.Sprintf("loop%d.c", id), k.Source, driver.Config{
+			Target: target, Strategy: strategy.Postpass, Options: opts,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum, stats, err := livermore.Run(c, 1, sim.CacheConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if want := k.Ref(1); sum != want {
+			b.Fatalf("loop%d: wrong checksum under ablation (%v want %v)", id, sum, want)
+		}
+		total += stats.Cycles
+	}
+	return total
+}
+
+// BenchmarkAblationHeuristic compares the max-distance priority against
+// FIFO candidate order.
+func BenchmarkAblationHeuristic(b *testing.B) {
+	ids := []int{1, 5, 7, 9}
+	for _, fifo := range []bool{false, true} {
+		name := "maxdist"
+		if fifo {
+			name = "fifo"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cycles = ablationCycles(b, strategy.Options{Sched: sched.Options{FIFO: fifo}}, "r2000", ids)
+			}
+			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkAblationHazardCheck compares full in-flight resource checking
+// against the paper's current-cycle-only scheme (§4.3).
+func BenchmarkAblationHazardCheck(b *testing.B) {
+	ids := []int{1, 5, 7, 9}
+	for _, cur := range []bool{false, true} {
+		name := "full"
+		if cur {
+			name = "current-cycle-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cycles = ablationCycles(b, strategy.Options{Sched: sched.Options{CurrentCycleOnly: cur}}, "r2000", ids)
+			}
+			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkAblationEdgeTypes measures what the type-3 (anti/output)
+// edges cost the schedule (§4.1): the scheduler's ESTIMATED cycles with
+// and without them. Code compiled without anti edges is not executed —
+// post-allocation it may be incorrect; this quantifies the constraint.
+func BenchmarkAblationEdgeTypes(b *testing.B) {
+	ids := []int{1, 7, 9}
+	for _, noAnti := range []bool{false, true} {
+		name := "with-anti"
+		if noAnti {
+			name = "no-anti-edges"
+		}
+		b.Run(name, func(b *testing.B) {
+			var est int
+			for i := 0; i < b.N; i++ {
+				est = 0
+				for _, id := range ids {
+					k := livermore.ByID(id)
+					c, err := driver.Compile(fmt.Sprintf("loop%d.c", id), k.Source, driver.Config{
+						Target:   "r2000",
+						Strategy: strategy.Postpass,
+						Options:  strategy.Options{Sched: sched.Options{Dag: cdag.Options{NoAnti: noAnti}}},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, st := range c.Stats {
+						est += st.EstimatedCycles
+					}
+				}
+			}
+			b.ReportMetric(float64(est), "est-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationEAP compares the i860's temporal scheduling of
+// sub-operations against running the same code with FIFO order (the
+// "treat EAPs as ordinary pipelines" alternative of §4.6 approximated by
+// giving the scheduler no freedom).
+func BenchmarkAblationEAP(b *testing.B) {
+	ids := []int{1, 7, 9}
+	for _, fifo := range []bool{false, true} {
+		name := "temporal-overlap"
+		if fifo {
+			name = "in-order-subops"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cycles = ablationCycles(b, strategy.Options{Sched: sched.Options{FIFO: fifo}}, "i860", ids)
+			}
+			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkAblationDelaySlotFill compares the paper's always-nop slot
+// policy against the optional Gross & Hennessy-style filling pass
+// (§4.4); checksums are re-verified with filling enabled.
+func BenchmarkAblationDelaySlotFill(b *testing.B) {
+	ids := []int{1, 3, 5, 11, 12}
+	for _, fill := range []bool{false, true} {
+		name := "nops"
+		if fill {
+			name = "filled"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cycles = ablationCycles(b, strategy.Options{FillDelaySlots: fill}, "r2000", ids)
+			}
+			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkSimulator measures raw simulator throughput.
+func BenchmarkSimulator(b *testing.B) {
+	k := livermore.ByID(3) // inner product
+	c, err := livermore.Build(k, "r2000", strategy.Postpass)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sim.New(c.Prog, sim.Options{})
+	if _, err := s.Run("init"); err != nil {
+		b.Fatal(err)
+	}
+	var instrs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := s.Run("kern", sim.Int(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = st.Instrs
+	}
+	b.ReportMetric(float64(instrs), "sim-instrs/op")
+}

@@ -1,0 +1,82 @@
+// Command marionc is the Marion compiler driver: it compiles C-subset
+// source files to scheduled, register-allocated assembly for any shipped
+// target, under any code generation strategy.
+//
+// Usage:
+//
+//	marionc -target r2000 -strategy postpass file.c
+//	marionc -target i860 -strategy ips -stats file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"marion/internal/core"
+	"marion/internal/strategy"
+)
+
+func main() {
+	target := flag.String("target", "r2000", "target machine (see -list)")
+	strat := flag.String("strategy", "postpass", "code generation strategy: local, naive, postpass, ips, rase")
+	stats := flag.Bool("stats", false, "print per-function back end statistics")
+	list := flag.Bool("list", false, "list available targets and exit")
+	out := flag.String("o", "", "write assembly to file instead of stdout")
+	flag.Parse()
+
+	if *list {
+		for _, t := range core.Targets() {
+			fmt.Println(t)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: marionc [-target T] [-strategy S] file.c")
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := strategy.ParseKind(*strat)
+	if err != nil {
+		fatal(err)
+	}
+	gen, err := core.New(*target, kind)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := gen.Compile(file, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	text := res.Program.Print()
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(text)
+	}
+	if *stats {
+		var names []string
+		for n := range res.Stats {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			st := res.Stats[n]
+			fmt.Fprintf(os.Stderr,
+				"%s: est %d cycles, %d spills (%d slots), %d alloc rounds, %d schedule passes\n",
+				n, st.EstimatedCycles, st.Spills, st.SpillSlots, st.AllocRounds, st.SchedulePasses)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "marionc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+// i860dual reproduces the paper's Figure 7: Marion's i860 code generator
+// producing dual-operation floating point code — multiplier and adder
+// sub-operations scheduled through the explicitly advanced pipelines,
+// packed into long instruction words, with the multiply result chained
+// into the adder through the T register (the a1m sub-operation).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"marion/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Paper Figure 7 fragment:")
+	fmt.Println(experiments.Figure7Source)
+	out, err := experiments.Figure7()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	fmt.Println(`How to read this:
+  - m1/m2/m3 advance the multiply pipeline (clock clk_m); a1/a2/a3 the
+    adder (clk_a); awb/mwb catch results on the write-back bus.
+  - Lines marked | are packed into the SAME long instruction word as the
+    line above: the scheduler overlaps independent sub-operations and
+    dual-issues integer-core instructions with floating point words.
+  - a1m takes the multiplier result straight from the mr3 latch (the
+    i860's T register) into the adder: no general register is used.`)
+}

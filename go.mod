@@ -1,0 +1,3 @@
+module marion
+
+go 1.22

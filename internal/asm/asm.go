@@ -1,0 +1,252 @@
+// Package asm defines the target program representation: instructions
+// instantiated from machine templates, grouped into basic blocks and
+// functions. The same structures flow from the selector through the
+// scheduler and register allocator to the printer and the simulator.
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"marion/internal/ir"
+	"marion/internal/mach"
+)
+
+// PseudoID names a back end pseudo-register (created by the selector;
+// mapped to physical registers by the allocator).
+type PseudoID int32
+
+// NoPseudo means "no pseudo register".
+const NoPseudo PseudoID = -1
+
+// OperandKind classifies an instruction operand.
+type OperandKind uint8
+
+const (
+	OpNone OperandKind = iota
+	OpPseudo
+	OpPhys
+	OpPseudoHalf // lo/hi half of a wide pseudo (resolved after allocation)
+	OpImm
+	OpBlock // branch target
+	OpSym   // function or global symbol (call target / address)
+)
+
+// Operand is one actual operand of an instruction.
+type Operand struct {
+	Kind   OperandKind
+	Pseudo PseudoID
+	Phys   mach.PhysID
+	Half   int // 0 = low, 1 = high (OpPseudoHalf)
+	Imm    int64
+	Block  *ir.Block
+	Sym    *ir.Sym
+}
+
+// Reg returns a pseudo-register operand.
+func Reg(p PseudoID) Operand { return Operand{Kind: OpPseudo, Pseudo: p} }
+
+// Phys returns a physical-register operand.
+func Phys(p mach.PhysID) Operand { return Operand{Kind: OpPhys, Phys: p} }
+
+// Imm returns an immediate operand.
+func Imm(v int64) Operand { return Operand{Kind: OpImm, Imm: v} }
+
+// IsReg reports whether the operand is a register (pseudo, phys or half).
+func (o Operand) IsReg() bool {
+	return o.Kind == OpPseudo || o.Kind == OpPhys || o.Kind == OpPseudoHalf
+}
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpPseudo:
+		return fmt.Sprintf("t%d", o.Pseudo)
+	case OpPhys:
+		return fmt.Sprintf("p%d", o.Phys)
+	case OpPseudoHalf:
+		if o.Half == 0 {
+			return fmt.Sprintf("lo(t%d)", o.Pseudo)
+		}
+		return fmt.Sprintf("hi(t%d)", o.Pseudo)
+	case OpImm:
+		return fmt.Sprintf("%d", o.Imm)
+	case OpBlock:
+		return o.Block.Name()
+	case OpSym:
+		return o.Sym.Name
+	}
+	return "?"
+}
+
+// Inst is one instruction: a machine template plus actual operands.
+type Inst struct {
+	Tmpl *mach.Instr
+	Args []Operand
+
+	// Implicit physical register effects (used for calls: argument
+	// registers used, caller-save set clobbered).
+	ImpUses []mach.PhysID
+	ImpDefs []mach.PhysID
+
+	// Cycle is the issue cycle assigned by the scheduler, relative to the
+	// start of the basic block; instructions with equal cycles are packed
+	// into one long instruction word. -1 before scheduling.
+	Cycle int
+
+	// SeqID groups the sub-operations of one %seq (or escape) expansion:
+	// temporal-latch dataflow is paired within a sequence, so the pairing
+	// survives arbitrary scheduling reorders. 0 = not part of a sequence.
+	SeqID int
+}
+
+// New returns an instruction instance for the given template.
+func New(tmpl *mach.Instr, args ...Operand) *Inst {
+	return &Inst{Tmpl: tmpl, Args: args, Cycle: -1}
+}
+
+// Defs appends the register operands written by the instruction to buf.
+func (in *Inst) Defs(buf []Operand) []Operand {
+	for _, i := range in.Tmpl.DefOps {
+		if in.Args[i].IsReg() {
+			buf = append(buf, in.Args[i])
+		}
+	}
+	return buf
+}
+
+// Uses appends the register operands read by the instruction to buf.
+func (in *Inst) Uses(buf []Operand) []Operand {
+	for _, i := range in.Tmpl.UseOps {
+		if in.Args[i].IsReg() {
+			buf = append(buf, in.Args[i])
+		}
+	}
+	return buf
+}
+
+func (in *Inst) String() string {
+	var sb strings.Builder
+	sb.WriteString(in.Tmpl.Mnemonic)
+	for i, a := range in.Args {
+		if i == 0 {
+			sb.WriteByte(' ')
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	return sb.String()
+}
+
+// PseudoInfo describes one back end pseudo-register.
+type PseudoInfo struct {
+	Set *mach.RegSet // register set the pseudo must be colored in
+	IR  ir.RegID     // originating IL pseudo, or ir.NoReg
+	// Precolor, when valid, pins the pseudo to one physical register.
+	Precolor mach.PhysID
+	// SpillCost accumulates use/def counts weighted by loop depth.
+	SpillCost float64
+	// NoSpill marks short-lived temporaries the allocator must not spill
+	// (e.g. pseudos introduced by spill code itself).
+	NoSpill bool
+}
+
+// Block is one basic block of target code.
+type Block struct {
+	IR    *ir.Block
+	Insts []*Inst
+	// SchedCost is the scheduler's estimated cycle count for the block
+	// (used by RASE and for Table 4's estimated execution time).
+	SchedCost int
+}
+
+// Label returns the block's assembly label.
+func (b *Block) Label() string { return b.IR.Name() }
+
+// Func is one compiled function.
+type Func struct {
+	Name    string
+	IR      *ir.Func
+	Blocks  []*Block
+	Pseudos []PseudoInfo
+
+	// FrameSize is the total stack frame, filled by the strategy after
+	// allocation (locals + spills + saves + outgoing args).
+	FrameSize int
+	// Outgoing is the outgoing-argument area size.
+	Outgoing int
+	// UsesCalls reports whether the function makes calls (needs the
+	// return address saved).
+	UsesCalls bool
+	// seqCounter feeds NewSeqID.
+	seqCounter int
+	// CalleeSaved lists the callee-save registers the allocator used.
+	CalleeSaved []mach.PhysID
+	// SpillSlots is the number of 8-byte spill slots in the frame.
+	SpillSlots int
+}
+
+// NewSeqID returns a fresh sequence identity for a %seq expansion.
+func (f *Func) NewSeqID() int {
+	f.seqCounter++
+	return f.seqCounter
+}
+
+// NewPseudo allocates a fresh pseudo-register constrained to set.
+func (f *Func) NewPseudo(set *mach.RegSet, irReg ir.RegID) PseudoID {
+	f.Pseudos = append(f.Pseudos, PseudoInfo{Set: set, IR: irReg, Precolor: mach.NoPhys})
+	return PseudoID(len(f.Pseudos) - 1)
+}
+
+// Block returns the asm block for an IR block.
+func (f *Func) Block(b *ir.Block) *Block {
+	for _, ab := range f.Blocks {
+		if ab.IR == b {
+			return ab
+		}
+	}
+	return nil
+}
+
+// Program is a complete compiled module.
+type Program struct {
+	Machine *mach.Machine
+	Name    string
+	Funcs   []*Func
+	Globals []*ir.Sym
+}
+
+// Lookup returns the function with the given name, or nil.
+func (p *Program) Lookup(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Print renders the program as assembly text.
+func (p *Program) Print() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; target %s\n", p.Machine.Name)
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, ".data %s size=%d addr=%d\n", g.Name, g.Size, g.Offset)
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&sb, "\n%s:  ; frame=%d\n", f.Name, f.FrameSize)
+		for _, b := range f.Blocks {
+			fmt.Fprintf(&sb, "%s:\n", b.Label())
+			lastCycle := -2
+			for _, in := range b.Insts {
+				pack := " "
+				if in.Cycle >= 0 && in.Cycle == lastCycle {
+					pack = "|" // packed with the previous instruction
+				}
+				lastCycle = in.Cycle
+				fmt.Fprintf(&sb, "  %s %s\n", pack, in.String())
+			}
+		}
+	}
+	return sb.String()
+}

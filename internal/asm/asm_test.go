@@ -1,0 +1,111 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"marion/internal/ir"
+	"marion/internal/maril"
+)
+
+const tinyDesc = `
+declare {
+    %reg r[0:3] (int, ptr);
+    %resource EX;
+    %def imm [-100:100];
+    %label lab [-10:10] +relative;
+    %memory m[0:1000];
+}
+cwvm {
+    %general (int, ptr) r;
+    %allocable r[1:2]; %calleesave r[2:2];
+    %sp r[3]; %fp r[3]; %retaddr r[0];
+}
+instr {
+    %instr add r, r, r {$1 = $2 + $3;} [EX] (1,1,0)
+    %instr ld r, r, #imm {$1 = m[$2 + $3];} [EX] (1,2,0)
+}
+`
+
+func TestOperandForms(t *testing.T) {
+	if Reg(3).String() != "t3" {
+		t.Error("pseudo string")
+	}
+	if Imm(-7).String() != "-7" {
+		t.Error("imm string")
+	}
+	h := Operand{Kind: OpPseudoHalf, Pseudo: 2, Half: 1}
+	if h.String() != "hi(t2)" {
+		t.Error("half string")
+	}
+	if !Reg(0).IsReg() || Imm(0).IsReg() {
+		t.Error("IsReg")
+	}
+	if Reg(1) == Reg(2) || Reg(1) != Reg(1) {
+		t.Error("operand comparability")
+	}
+}
+
+func TestInstDefsUses(t *testing.T) {
+	m, err := maril.Parse("tiny", tinyDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := m.InstrByLabel("add")
+	in := New(add, Reg(0), Reg(1), Reg(2))
+	defs := in.Defs(nil)
+	uses := in.Uses(nil)
+	if len(defs) != 1 || defs[0].Pseudo != 0 {
+		t.Errorf("defs = %v", defs)
+	}
+	if len(uses) != 2 {
+		t.Errorf("uses = %v", uses)
+	}
+	if got := in.String(); got != "add t0, t1, t2" {
+		t.Errorf("string = %q", got)
+	}
+}
+
+func TestFuncHelpers(t *testing.T) {
+	m, err := maril.Parse("tiny", tinyDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := ir.NewFunc("f", ir.Void)
+	irb := fn.NewBlock()
+	af := &Func{Name: "f", IR: fn}
+	p := af.NewPseudo(m.RegSet("r"), ir.NoReg)
+	if p != 0 || af.Pseudos[p].Set.Name != "r" {
+		t.Error("pseudo bookkeeping")
+	}
+	b := &Block{IR: irb}
+	af.Blocks = append(af.Blocks, b)
+	if af.Block(irb) != b || af.Block(fn.NewBlock()) != nil {
+		t.Error("Block lookup")
+	}
+	if af.NewSeqID() == af.NewSeqID() {
+		t.Error("sequence ids must be unique")
+	}
+}
+
+func TestProgramPrintPacking(t *testing.T) {
+	m, err := maril.Parse("tiny", tinyDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := m.InstrByLabel("add")
+	fn := ir.NewFunc("f", ir.Void)
+	irb := fn.NewBlock()
+	a := New(add, Reg(0), Reg(1), Reg(1))
+	b := New(add, Reg(2), Reg(1), Reg(1))
+	a.Cycle, b.Cycle = 0, 0 // packed
+	af := &Func{Name: "f", IR: fn, Blocks: []*Block{{IR: irb, Insts: []*Inst{a, b}}}}
+	prog := &Program{Machine: m, Funcs: []*Func{af}}
+	out := prog.Print()
+	if !strings.Contains(out, "| add") {
+		t.Errorf("packed marker missing:\n%s", out)
+	}
+	if prog.Lookup("f") != af || prog.Lookup("g") != nil {
+		t.Error("Lookup")
+	}
+}

@@ -1,0 +1,258 @@
+package cc
+
+// expr parses a full expression. The comma operator is supported only in
+// for-statement clauses, where it builds a right-nested EBinary TComma...
+// in fact the subset omits the comma operator; expr == assignExpr.
+func (p *parser) expr() (*Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (*Expr, error) {
+	lhs, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case TAssign, TPlusEq, TMinusEq, TStarEq, TSlashEq, TPercentEq:
+		op := p.tok.Kind
+		line := p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: EAssign, Op: op, L: lhs, R: rhs, Line: line}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) condExpr() (*Expr, error) {
+	c, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TQuest {
+		return c, nil
+	}
+	line := p.tok.Line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	t, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TColon); err != nil {
+		return nil, err
+	}
+	f, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{Kind: ECond, C: c, L: t, R: f, Line: line}, nil
+}
+
+// Binary operator precedence levels, lowest first.
+var cBinLevels = [][]Tok{
+	{TOrOr},
+	{TAndAnd},
+	{TPipe},
+	{TCaret},
+	{TAmp},
+	{TEq, TNe},
+	{TLt, TLe, TGt, TGe},
+	{TShl, TShr},
+	{TPlus, TMinus},
+	{TStar, TSlash, TPercent},
+}
+
+func (p *parser) binExpr(level int) (*Expr, error) {
+	if level >= len(cBinLevels) {
+		return p.unaryExpr()
+	}
+	lhs, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range cBinLevels[level] {
+			if p.tok.Kind == op {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+		op := p.tok.Kind
+		line := p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.binExpr(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: EBinary, Op: op, L: lhs, R: rhs, Line: line}
+	}
+}
+
+func (p *parser) unaryExpr() (*Expr, error) {
+	line := p.tok.Line
+	switch p.tok.Kind {
+	case TMinus, TBang, TTilde, TStar, TAmp:
+		op := p.tok.Kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		k, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		// Fold unary minus into literals immediately.
+		if op == TMinus {
+			if k.Kind == EIntLit {
+				k.IVal = -k.IVal
+				return k, nil
+			}
+			if k.Kind == EFloatLit {
+				k.FVal = -k.FVal
+				return k, nil
+			}
+		}
+		if op == TPlus {
+			return k, nil
+		}
+		return &Expr{Kind: EUnary, Op: op, L: k, Line: line}, nil
+
+	case TPlus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.unaryExpr()
+
+	case TInc, TDec:
+		op := p.tok.Kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		k, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: EPreIncDec, Op: op, L: k, Line: line}, nil
+
+	case TLParen:
+		// Cast?
+		if next, err := p.peek(1); err != nil {
+			return nil, err
+		} else if isTypeTok(next.Kind) {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			base, err := p.typeSpec()
+			if err != nil {
+				return nil, err
+			}
+			ty := base
+			for p.tok.Kind == TStar {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				ty = PtrTo(ty)
+			}
+			if _, err := p.expect(TRParen); err != nil {
+				return nil, err
+			}
+			k, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ECast, CastType: ty, L: k, Line: line}, nil
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (*Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.tok.Line
+		switch p.tok.Kind {
+		case TLBrack:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TRBrack); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: EIndex, L: e, R: idx, Line: line}
+
+		case TLParen:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &Expr{Kind: ECall, L: e, Line: line}
+			for p.tok.Kind != TRParen {
+				arg, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if ok, err := p.accept(TComma); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(TRParen); err != nil {
+				return nil, err
+			}
+			e = call
+
+		case TInc, TDec:
+			op := p.tok.Kind
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: EPostIncDec, Op: op, L: e, Line: line}
+
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (*Expr, error) {
+	line := p.tok.Line
+	switch p.tok.Kind {
+	case TIntLit, TCharLit:
+		v := p.tok.IVal
+		return &Expr{Kind: EIntLit, IVal: v, Line: line}, p.advance()
+	case TFloatLit:
+		v := p.tok.FVal
+		return &Expr{Kind: EFloatLit, FVal: v, Line: line}, p.advance()
+	case TIdent:
+		name := p.tok.Text
+		return &Expr{Kind: EIdent, Name: name, Line: line}, p.advance()
+	case TLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TRParen)
+		return e, err
+	}
+	return nil, p.errf("unexpected %s in expression", p.tok.Kind)
+}

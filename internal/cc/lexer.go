@@ -1,0 +1,435 @@
+// Package cc is Marion's compiler front end: a lexer, parser and type
+// checker for the C subset the system compiles (the role Lcc plays in the
+// paper). It produces a typed AST that ilgen lowers to the IL.
+//
+// The subset: void/char/short/int/long/unsigned/float/double, pointers,
+// multi-dimensional arrays, functions, the full C expression grammar
+// (including ?:, && and ||, compound assignment and ++/--) and the
+// structured statements (if/else, while, do-while, for, break, continue,
+// return). Structs, unions, switch and goto are not supported.
+package cc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Tok is a lexical token kind.
+type Tok uint8
+
+const (
+	TEOF Tok = iota
+	TIdent
+	TIntLit
+	TFloatLit
+	TCharLit
+	// Keywords.
+	TVoid
+	TChar
+	TShort
+	TInt
+	TLong
+	TUnsigned
+	TSigned
+	TFloat
+	TDouble
+	TIf
+	TElse
+	TWhile
+	TDo
+	TFor
+	TReturn
+	TBreak
+	TContinue
+	TStatic
+	TConst
+	// Punctuation and operators.
+	TLParen
+	TRParen
+	TLBrace
+	TRBrace
+	TLBrack
+	TRBrack
+	TSemi
+	TComma
+	TQuest
+	TColon
+	TAssign
+	TPlusEq
+	TMinusEq
+	TStarEq
+	TSlashEq
+	TPercentEq
+	TOrOr
+	TAndAnd
+	TPipe
+	TCaret
+	TAmp
+	TEq
+	TNe
+	TLt
+	TLe
+	TGt
+	TGe
+	TShl
+	TShr
+	TPlus
+	TMinus
+	TStar
+	TSlash
+	TPercent
+	TBang
+	TTilde
+	TInc
+	TDec
+)
+
+var tokNames = map[Tok]string{
+	TEOF: "end of file", TIdent: "identifier", TIntLit: "integer literal",
+	TFloatLit: "float literal", TCharLit: "char literal",
+	TVoid: "void", TChar: "char", TShort: "short", TInt: "int",
+	TLong: "long", TUnsigned: "unsigned", TSigned: "signed",
+	TFloat: "float", TDouble: "double",
+	TIf: "if", TElse: "else", TWhile: "while", TDo: "do", TFor: "for",
+	TReturn: "return", TBreak: "break", TContinue: "continue",
+	TStatic: "static", TConst: "const",
+	TLParen: "(", TRParen: ")", TLBrace: "{", TRBrace: "}",
+	TLBrack: "[", TRBrack: "]", TSemi: ";", TComma: ",",
+	TQuest: "?", TColon: ":", TAssign: "=",
+	TPlusEq: "+=", TMinusEq: "-=", TStarEq: "*=", TSlashEq: "/=", TPercentEq: "%=",
+	TOrOr: "||", TAndAnd: "&&", TPipe: "|", TCaret: "^", TAmp: "&",
+	TEq: "==", TNe: "!=", TLt: "<", TLe: "<=", TGt: ">", TGe: ">=",
+	TShl: "<<", TShr: ">>", TPlus: "+", TMinus: "-", TStar: "*",
+	TSlash: "/", TPercent: "%", TBang: "!", TTilde: "~",
+	TInc: "++", TDec: "--",
+}
+
+func (t Tok) String() string { return tokNames[t] }
+
+var keywords = map[string]Tok{
+	"void": TVoid, "char": TChar, "short": TShort, "int": TInt,
+	"long": TLong, "unsigned": TUnsigned, "signed": TSigned,
+	"float": TFloat, "double": TDouble, "if": TIf, "else": TElse,
+	"while": TWhile, "do": TDo, "for": TFor, "return": TReturn,
+	"break": TBreak, "continue": TContinue, "static": TStatic,
+	"const": TConst,
+}
+
+// Token is one token with its value and position.
+type Token struct {
+	Kind Tok
+	Text string
+	IVal int64
+	FVal float64
+	Line int
+}
+
+// Error is a front end diagnostic.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+}
+
+func (lx *lexer) errf(format string, args ...interface{}) *Error {
+	return &Error{File: lx.file, Line: lx.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) at(off int) byte {
+	if lx.pos+off < len(lx.src) {
+		return lx.src[lx.pos+off]
+	}
+	return 0
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isNum(c byte) bool { return c >= '0' && c <= '9' }
+
+func (lx *lexer) skip() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.at(1) == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.at(1) == '*':
+			lx.pos += 2
+			for {
+				if lx.pos >= len(lx.src) {
+					return lx.errf("unterminated comment")
+				}
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				if lx.src[lx.pos] == '*' && lx.at(1) == '/' {
+					lx.pos += 2
+					break
+				}
+				lx.pos++
+			}
+		case c == '#':
+			// Preprocessor lines are ignored (the subset has no cpp).
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skip(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: lx.line}
+	if lx.pos >= len(lx.src) {
+		tok.Kind = TEOF
+		return tok, nil
+	}
+	c := lx.src[lx.pos]
+
+	if isAlpha(c) {
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isAlpha(lx.src[lx.pos]) || isNum(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		if kw, ok := keywords[text]; ok {
+			tok.Kind = kw
+			tok.Text = text
+			return tok, nil
+		}
+		tok.Kind = TIdent
+		tok.Text = text
+		return tok, nil
+	}
+
+	if isNum(c) || (c == '.' && isNum(lx.at(1))) {
+		start := lx.pos
+		isFloat := false
+		if c == '0' && (lx.at(1) == 'x' || lx.at(1) == 'X') {
+			lx.pos += 2
+			for lx.pos < len(lx.src) && isHex(lx.src[lx.pos]) {
+				lx.pos++
+			}
+			v, err := strconv.ParseUint(lx.src[start+2:lx.pos], 16, 64)
+			if err != nil {
+				return tok, lx.errf("bad hex literal %q", lx.src[start:lx.pos])
+			}
+			tok.Kind = TIntLit
+			tok.IVal = int64(int32(v))
+			lx.eatIntSuffix()
+			return tok, nil
+		}
+		for lx.pos < len(lx.src) && isNum(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '.' {
+			isFloat = true
+			lx.pos++
+			for lx.pos < len(lx.src) && isNum(lx.src[lx.pos]) {
+				lx.pos++
+			}
+		}
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+			isFloat = true
+			lx.pos++
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+				lx.pos++
+			}
+			for lx.pos < len(lx.src) && isNum(lx.src[lx.pos]) {
+				lx.pos++
+			}
+		}
+		text := lx.src[start:lx.pos]
+		if isFloat {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return tok, lx.errf("bad float literal %q", text)
+			}
+			tok.Kind = TFloatLit
+			tok.FVal = f
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'f' || lx.src[lx.pos] == 'F') {
+				lx.pos++
+			}
+			return tok, nil
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return tok, lx.errf("bad integer literal %q", text)
+		}
+		tok.Kind = TIntLit
+		tok.IVal = v
+		lx.eatIntSuffix()
+		return tok, nil
+	}
+
+	if c == '\'' {
+		lx.pos++
+		if lx.pos >= len(lx.src) {
+			return tok, lx.errf("unterminated char literal")
+		}
+		var v int64
+		if lx.src[lx.pos] == '\\' {
+			lx.pos++
+			switch lx.at(0) {
+			case 'n':
+				v = '\n'
+			case 't':
+				v = '\t'
+			case 'r':
+				v = '\r'
+			case '0':
+				v = 0
+			case '\\':
+				v = '\\'
+			case '\'':
+				v = '\''
+			default:
+				return tok, lx.errf("bad escape \\%c", lx.at(0))
+			}
+			lx.pos++
+		} else {
+			v = int64(lx.src[lx.pos])
+			lx.pos++
+		}
+		if lx.at(0) != '\'' {
+			return tok, lx.errf("unterminated char literal")
+		}
+		lx.pos++
+		tok.Kind = TCharLit
+		tok.IVal = v
+		return tok, nil
+	}
+
+	one := func(k Tok) (Token, error) { lx.pos++; tok.Kind = k; return tok, nil }
+	two := func(k Tok) (Token, error) { lx.pos += 2; tok.Kind = k; return tok, nil }
+	switch c {
+	case '(':
+		return one(TLParen)
+	case ')':
+		return one(TRParen)
+	case '{':
+		return one(TLBrace)
+	case '}':
+		return one(TRBrace)
+	case '[':
+		return one(TLBrack)
+	case ']':
+		return one(TRBrack)
+	case ';':
+		return one(TSemi)
+	case ',':
+		return one(TComma)
+	case '?':
+		return one(TQuest)
+	case ':':
+		return one(TColon)
+	case '~':
+		return one(TTilde)
+	case '=':
+		if lx.at(1) == '=' {
+			return two(TEq)
+		}
+		return one(TAssign)
+	case '!':
+		if lx.at(1) == '=' {
+			return two(TNe)
+		}
+		return one(TBang)
+	case '<':
+		if lx.at(1) == '=' {
+			return two(TLe)
+		}
+		if lx.at(1) == '<' {
+			return two(TShl)
+		}
+		return one(TLt)
+	case '>':
+		if lx.at(1) == '=' {
+			return two(TGe)
+		}
+		if lx.at(1) == '>' {
+			return two(TShr)
+		}
+		return one(TGt)
+	case '+':
+		if lx.at(1) == '+' {
+			return two(TInc)
+		}
+		if lx.at(1) == '=' {
+			return two(TPlusEq)
+		}
+		return one(TPlus)
+	case '-':
+		if lx.at(1) == '-' {
+			return two(TDec)
+		}
+		if lx.at(1) == '=' {
+			return two(TMinusEq)
+		}
+		return one(TMinus)
+	case '*':
+		if lx.at(1) == '=' {
+			return two(TStarEq)
+		}
+		return one(TStar)
+	case '/':
+		if lx.at(1) == '=' {
+			return two(TSlashEq)
+		}
+		return one(TSlash)
+	case '%':
+		if lx.at(1) == '=' {
+			return two(TPercentEq)
+		}
+		return one(TPercent)
+	case '|':
+		if lx.at(1) == '|' {
+			return two(TOrOr)
+		}
+		return one(TPipe)
+	case '&':
+		if lx.at(1) == '&' {
+			return two(TAndAnd)
+		}
+		return one(TAmp)
+	case '^':
+		return one(TCaret)
+	}
+	return tok, lx.errf("unexpected character %q", string(c))
+}
+
+func isHex(c byte) bool {
+	return isNum(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func (lx *lexer) eatIntSuffix() {
+	for lx.pos < len(lx.src) {
+		switch lx.src[lx.pos] {
+		case 'l', 'L', 'u', 'U':
+			lx.pos++
+		default:
+			return
+		}
+	}
+}

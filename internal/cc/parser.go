@@ -1,0 +1,671 @@
+package cc
+
+import "fmt"
+
+// Parse parses a translation unit. The returned File is not yet
+// type-checked; run Check on it (or use Compile).
+func Parse(file, src string) (*File, error) {
+	p := &parser{lx: &lexer{file: file, src: src, line: 1}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f := &File{Name: file}
+	for p.tok.Kind != TEOF {
+		if err := p.topLevel(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+type parser struct {
+	lx  *lexer
+	tok Token
+	la  []Token
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &Error{File: p.lx.file, Line: p.tok.Line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	if len(p.la) > 0 {
+		p.tok = p.la[0]
+		p.la = p.la[1:]
+		return nil
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peek(n int) (Token, error) {
+	for len(p.la) < n {
+		t, err := p.lx.next()
+		if err != nil {
+			return Token{}, err
+		}
+		p.la = append(p.la, t)
+	}
+	return p.la[n-1], nil
+}
+
+func (p *parser) expect(k Tok) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, p.errf("expected %s, got %s", k, p.tok.Kind)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) accept(k Tok) (bool, error) {
+	if p.tok.Kind == k {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func isTypeTok(k Tok) bool {
+	switch k {
+	case TVoid, TChar, TShort, TInt, TLong, TUnsigned, TSigned, TFloat, TDouble:
+		return true
+	}
+	return false
+}
+
+// typeSpec parses the declaration-specifier part: storage class and const
+// qualifiers are accepted and ignored.
+func (p *parser) typeSpec() (*CType, error) {
+	for p.tok.Kind == TStatic || p.tok.Kind == TConst {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	var base *CType
+	switch p.tok.Kind {
+	case TVoid:
+		base = TypeVoid
+	case TChar:
+		base = TypeChar
+	case TShort:
+		base = TypeShort
+	case TInt:
+		base = TypeInt
+	case TLong:
+		base = TypeInt
+	case TUnsigned:
+		base = TypeUnsigned
+	case TSigned:
+		base = TypeInt
+	case TFloat:
+		base = TypeFloat
+	case TDouble:
+		base = TypeDouble
+	default:
+		return nil, p.errf("expected type, got %s", p.tok.Kind)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	// "unsigned int", "long int", "short int", "unsigned long", ...
+	for isTypeTok(p.tok.Kind) {
+		switch p.tok.Kind {
+		case TInt, TLong:
+			// keep base
+		case TChar:
+			if base == TypeUnsigned {
+				base = TypeChar
+			}
+		case TShort:
+			base = TypeShort
+		case TDouble:
+			base = TypeDouble
+		default:
+			return nil, p.errf("bad type combination")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	for p.tok.Kind == TConst {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return base, nil
+}
+
+// declarator parses ('*')* name ('[' n ']')* and returns the name and
+// completed type.
+func (p *parser) declarator(base *CType) (string, *CType, error) {
+	ty := base
+	for p.tok.Kind == TStar {
+		if err := p.advance(); err != nil {
+			return "", nil, err
+		}
+		for p.tok.Kind == TConst {
+			if err := p.advance(); err != nil {
+				return "", nil, err
+			}
+		}
+		ty = PtrTo(ty)
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return "", nil, err
+	}
+	// Array dimensions apply outermost-first: int a[2][3] is array 2 of
+	// array 3 of int. Collect then fold right-to-left.
+	var dims []int
+	for p.tok.Kind == TLBrack {
+		if err := p.advance(); err != nil {
+			return "", nil, err
+		}
+		n, err := p.constIntExpr()
+		if err != nil {
+			return "", nil, err
+		}
+		if n <= 0 {
+			return "", nil, p.errf("bad array length %d", n)
+		}
+		dims = append(dims, int(n))
+		if _, err := p.expect(TRBrack); err != nil {
+			return "", nil, err
+		}
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		ty = ArrayOf(ty, dims[i])
+	}
+	return name.Text, ty, nil
+}
+
+func (p *parser) topLevel(f *File) error {
+	base, err := p.typeSpec()
+	if err != nil {
+		return err
+	}
+	name, ty, err := p.declarator(base)
+	if err != nil {
+		return err
+	}
+	if p.tok.Kind == TLParen {
+		return p.funcRest(f, name, ty)
+	}
+	// Global variable declaration(s).
+	for {
+		obj := &Obj{Name: name, Kind: ObjGlobal, Type: ty, Line: p.tok.Line}
+		if ok, err := p.accept(TAssign); err != nil {
+			return err
+		} else if ok {
+			if err := p.globalInit(obj); err != nil {
+				return err
+			}
+		}
+		f.Globals = append(f.Globals, obj)
+		if ok, err := p.accept(TComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+		if name, ty, err = p.declarator(base); err != nil {
+			return err
+		}
+	}
+	_, err = p.expect(TSemi)
+	return err
+}
+
+// globalInit parses a constant initializer: a scalar constant expression
+// or a (possibly nested) brace list, flattened in row-major order.
+func (p *parser) globalInit(obj *Obj) error {
+	isFloat := obj.Type.Kind == KArray && obj.Type.BaseElem().IsFloat() ||
+		obj.Type.IsFloat()
+	var walk func() error
+	walk = func() error {
+		if p.tok.Kind == TLBrace {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			for p.tok.Kind != TRBrace {
+				if err := walk(); err != nil {
+					return err
+				}
+				if ok, err := p.accept(TComma); err != nil {
+					return err
+				} else if !ok {
+					break
+				}
+			}
+			_, err := p.expect(TRBrace)
+			return err
+		}
+		e, err := p.condExpr()
+		if err != nil {
+			return err
+		}
+		iv, fv, isF, err := p.evalConst(e)
+		if err != nil {
+			return err
+		}
+		if isFloat {
+			if !isF {
+				fv = float64(iv)
+			}
+			obj.InitF = append(obj.InitF, fv)
+		} else {
+			if isF {
+				iv = int64(fv)
+			}
+			obj.InitI = append(obj.InitI, iv)
+		}
+		return nil
+	}
+	return walk()
+}
+
+func (p *parser) funcRest(f *File, name string, ret *CType) error {
+	fd := &FuncDecl{Line: p.tok.Line}
+	if _, err := p.expect(TLParen); err != nil {
+		return err
+	}
+	ft := &CType{Kind: KFunc, Elem: ret}
+	if p.tok.Kind == TVoid {
+		if next, err := p.peek(1); err != nil {
+			return err
+		} else if next.Kind == TRParen {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	for p.tok.Kind != TRParen {
+		base, err := p.typeSpec()
+		if err != nil {
+			return err
+		}
+		pname, pty, err := p.declarator(base)
+		if err != nil {
+			return err
+		}
+		if pty.Kind == KArray {
+			pty = PtrTo(pty.Elem) // arrays decay in parameter position
+		}
+		obj := &Obj{Name: pname, Kind: ObjParam, Type: pty, Line: p.tok.Line}
+		fd.Params = append(fd.Params, obj)
+		ft.Params = append(ft.Params, pty)
+		if ok, err := p.accept(TComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TRParen); err != nil {
+		return err
+	}
+	fd.Obj = &Obj{Name: name, Kind: ObjFunc, Type: ft, Line: fd.Line}
+
+	// Prototype only?
+	if ok, err := p.accept(TSemi); err != nil {
+		return err
+	} else if ok {
+		f.Globals = append(f.Globals, fd.Obj)
+		return nil
+	}
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	fd.Body = body
+	f.Funcs = append(f.Funcs, fd)
+	return nil
+}
+
+func (p *parser) block() (*Stmt, error) {
+	line := p.tok.Line
+	if _, err := p.expect(TLBrace); err != nil {
+		return nil, err
+	}
+	s := &Stmt{Kind: SBlock, Line: line}
+	for p.tok.Kind != TRBrace {
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.List = append(s.List, st)
+	}
+	return s, p.advance()
+}
+
+func (p *parser) stmt() (*Stmt, error) {
+	line := p.tok.Line
+	switch p.tok.Kind {
+	case TLBrace:
+		return p.block()
+
+	case TSemi:
+		return &Stmt{Kind: SEmpty, Line: line}, p.advance()
+
+	case TIf:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: SIf, Cond: cond, Body: body, Line: line}
+		if ok, err := p.accept(TElse); err != nil {
+			return nil, err
+		} else if ok {
+			if s.Else, err = p.stmt(); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+
+	case TWhile:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SWhile, Cond: cond, Body: body, Line: line}, nil
+
+	case TDo:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TWhile); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SDoWhile, Cond: cond, Body: body, Line: line}, nil
+
+	case TFor:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: SFor, Line: line}
+		if p.tok.Kind != TSemi {
+			if isTypeTok(p.tok.Kind) {
+				init, err := p.declStmt()
+				if err != nil {
+					return nil, err
+				}
+				s.Init = init
+			} else {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				s.Init = &Stmt{Kind: SExpr, E: e, Line: line}
+				if _, err := p.expect(TSemi); err != nil {
+					return nil, err
+				}
+			}
+		} else if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TSemi {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Cond = cond
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TRParen {
+			post, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Post = post
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		return s, nil
+
+	case TReturn:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: SReturn, Line: line}
+		if p.tok.Kind != TSemi {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.E = e
+		}
+		_, err := p.expect(TSemi)
+		return s, err
+
+	case TBreak:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TSemi)
+		return &Stmt{Kind: SBreak, Line: line}, err
+
+	case TContinue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TSemi)
+		return &Stmt{Kind: SContinue, Line: line}, err
+	}
+
+	if isTypeTok(p.tok.Kind) || p.tok.Kind == TStatic || p.tok.Kind == TConst {
+		return p.declStmt()
+	}
+
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	return &Stmt{Kind: SExpr, E: e, Line: line}, nil
+}
+
+// declStmt parses a local declaration; multiple declarators expand into a
+// block of SDecl statements.
+func (p *parser) declStmt() (*Stmt, error) {
+	line := p.tok.Line
+	base, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	var list []*Stmt
+	for {
+		name, ty, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		obj := &Obj{Name: name, Kind: ObjLocal, Type: ty, Line: line}
+		s := &Stmt{Kind: SDecl, Decl: obj, Line: line}
+		if ok, err := p.accept(TAssign); err != nil {
+			return nil, err
+		} else if ok {
+			if s.DeclInit, err = p.assignExpr(); err != nil {
+				return nil, err
+			}
+		}
+		list = append(list, s)
+		if ok, err := p.accept(TComma); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	if len(list) == 1 {
+		return list[0], nil
+	}
+	return &Stmt{Kind: SBlock, List: list, NoScope: true, Line: line}, nil
+}
+
+// constIntExpr parses and folds a constant integer expression.
+func (p *parser) constIntExpr() (int64, error) {
+	e, err := p.condExpr()
+	if err != nil {
+		return 0, err
+	}
+	iv, _, isF, err := p.evalConst(e)
+	if err != nil {
+		return 0, err
+	}
+	if isF {
+		return 0, p.errf("integer constant required")
+	}
+	return iv, nil
+}
+
+// evalConst folds a constant expression at parse time (for array bounds
+// and global initializers).
+func (p *parser) evalConst(e *Expr) (int64, float64, bool, error) {
+	switch e.Kind {
+	case EIntLit:
+		return e.IVal, 0, false, nil
+	case EFloatLit:
+		return 0, e.FVal, true, nil
+	case EUnary:
+		iv, fv, isF, err := p.evalConst(e.L)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		switch e.Op {
+		case TMinus:
+			return -iv, -fv, isF, nil
+		case TTilde:
+			return ^iv, 0, false, nil
+		}
+	case EBinary:
+		li, lf, lF, err := p.evalConst(e.L)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		ri, rf, rF, err := p.evalConst(e.R)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if lF || rF {
+			if !lF {
+				lf = float64(li)
+			}
+			if !rF {
+				rf = float64(ri)
+			}
+			switch e.Op {
+			case TPlus:
+				return 0, lf + rf, true, nil
+			case TMinus:
+				return 0, lf - rf, true, nil
+			case TStar:
+				return 0, lf * rf, true, nil
+			case TSlash:
+				return 0, lf / rf, true, nil
+			}
+			return 0, 0, false, p.errf("bad constant float op")
+		}
+		switch e.Op {
+		case TPlus:
+			return li + ri, 0, false, nil
+		case TMinus:
+			return li - ri, 0, false, nil
+		case TStar:
+			return li * ri, 0, false, nil
+		case TSlash:
+			if ri == 0 {
+				return 0, 0, false, p.errf("division by zero in constant")
+			}
+			return li / ri, 0, false, nil
+		case TPercent:
+			if ri == 0 {
+				return 0, 0, false, p.errf("division by zero in constant")
+			}
+			return li % ri, 0, false, nil
+		case TShl:
+			return li << uint(ri), 0, false, nil
+		case TShr:
+			return li >> uint(ri), 0, false, nil
+		case TPipe:
+			return li | ri, 0, false, nil
+		case TAmp:
+			return li & ri, 0, false, nil
+		case TCaret:
+			return li ^ ri, 0, false, nil
+		}
+	case ECast:
+		iv, fv, isF, err := p.evalConst(e.L)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if e.CastType.IsFloat() {
+			if !isF {
+				fv = float64(iv)
+			}
+			return 0, fv, true, nil
+		}
+		if isF {
+			iv = int64(fv)
+		}
+		return iv, 0, false, nil
+	}
+	return 0, 0, false, p.errf("constant expression required")
+}

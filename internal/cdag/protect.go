@@ -1,0 +1,135 @@
+package cdag
+
+// protect implements the temporal-sequence protection pass (paper §4.6,
+// Figure 6). For each clock k, a temporal sequence is a chain of nodes
+// connected by temporal edges ON THAT CLOCK (a chaining sub-operation
+// like the i860's a1m belongs to a multiplier sequence as a member and
+// heads its own adder sequence). An alternate entry into sequence T is
+// an edge (y,x) whose destination x is in T but is not T's head; for
+// every such entry, each instruction z found on a backward search from y
+// that affects k gets an extra edge z -> head(T) (or from a member of
+// z's own sequence when the direct edge would create a cycle). This
+// ensures every k-affecting ancestor of any sequence member is scheduled
+// before the sequence's head, which makes deadlock under scheduling Rule
+// 1 impossible. Worst case O(n*e) per clock, matching the paper.
+func (g *Graph) protect(addEdge func(from, to, lat int, t EdgeType, clock int)) {
+	n := len(g.Nodes)
+	if n == 0 || len(g.M.Clocks) == 0 {
+		return
+	}
+
+	// reach reports whether there is a path from a to b (for cycle
+	// avoidance when inserting protection edges).
+	var reach func(a, b int, seen []bool) bool
+	reach = func(a, b int, seen []bool) bool {
+		if a == b {
+			return true
+		}
+		if seen[a] {
+			return false
+		}
+		seen[a] = true
+		for _, e := range g.Nodes[a].Succs {
+			if reach(e.To, b, seen) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for k := range g.M.Clocks {
+		// headK[i]: the head of i's clock-k temporal sequence (following
+		// clock-k temporal predecessor edges transitively); isMember[i]
+		// marks non-head members.
+		headK := make([]int, n)
+		isMember := make([]bool, n)
+		for i := range headK {
+			headK[i] = i
+		}
+		for i, nd := range g.Nodes {
+			for _, e := range nd.Preds {
+				if e.Type == True && e.Clock == k {
+					// Temporal sources precede their destinations in the
+					// code thread, so headK[e.To] is final.
+					headK[i] = headK[e.To]
+					isMember[i] = true
+				}
+			}
+		}
+
+		for i, nd := range g.Nodes {
+			if !isMember[i] {
+				continue
+			}
+			h := headK[i]
+			for _, e := range nd.Preds {
+				if e.Type == True && e.Clock == k && headK[e.To] == h {
+					continue // the in-sequence temporal edge itself
+				}
+				// Alternate entry from y = e.To: search backward for
+				// instructions affecting clock k.
+				visited := make([]bool, n)
+				stack := []int{e.To}
+				for len(stack) > 0 {
+					z := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if visited[z] {
+						continue
+					}
+					visited[z] = true
+					if g.Nodes[z].Inst.Tmpl.AffectsClock == k && headK[z] != h && z != h {
+						switch {
+						case !reach(h, z, make([]bool, n)):
+							addEdge(z, h, 0, Extra, -1)
+						case headK[z] != z && headK[z] != h && !reach(h, headK[z], make([]bool, n)):
+							addEdge(headK[z], h, 0, Extra, -1)
+						}
+					}
+					for _, pe := range g.Nodes[z].Preds {
+						stack = append(stack, pe.To)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Roots returns the indices of nodes with no predecessors.
+func (g *Graph) Roots() []int {
+	var out []int
+	for i, nd := range g.Nodes {
+		if len(nd.Preds) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Heights computes, for every node, the maximum latency-weighted distance
+// to any leaf — the paper's list scheduling priority heuristic.
+func (g *Graph) Heights() []int {
+	// Protection edges may run backward in thread order, so use a memoized
+	// DFS rather than a reverse sweep.
+	n := len(g.Nodes)
+	h := make([]int, n)
+	done := make([]bool, n)
+	var dfs func(i int) int
+	dfs = func(i int) int {
+		if done[i] {
+			return h[i]
+		}
+		done[i] = true // edges are acyclic by construction
+		best := 0
+		for _, e := range g.Nodes[i].Succs {
+			if d := e.Latency + dfs(e.To); d > best {
+				best = d
+			}
+		}
+		h[i] = best
+		return best
+	}
+	for i := range g.Nodes {
+		dfs(i)
+	}
+	return h
+}

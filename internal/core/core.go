@@ -1,0 +1,132 @@
+// Package core is Marion's public face: a code generator construction
+// system (paper §2). A CodeGenerator is built from a Maril machine
+// description — either one of the shipped targets or custom description
+// text — combined with a code generation strategy; it compiles the C
+// subset to scheduled, register-allocated target code, which the
+// description-driven simulator can execute and time.
+package core
+
+import (
+	"fmt"
+
+	"marion/internal/asm"
+	"marion/internal/cc"
+	"marion/internal/driver"
+	"marion/internal/ilgen"
+	"marion/internal/ir"
+	"marion/internal/mach"
+	"marion/internal/maril"
+	"marion/internal/sim"
+	"marion/internal/strategy"
+	"marion/internal/targets"
+)
+
+// Strategy re-exports the code generation strategies.
+type Strategy = strategy.Kind
+
+// The four strategies of the paper plus the local-allocation baseline.
+const (
+	Naive    = strategy.Naive
+	Postpass = strategy.Postpass
+	IPS      = strategy.IPS
+	RASE     = strategy.RASE
+	Local    = strategy.Local
+)
+
+// Targets lists the machine descriptions shipped with Marion.
+func Targets() []string { return targets.Names() }
+
+// CodeGenerator is a constructed code generator: machine tables derived
+// from a description plus a strategy.
+type CodeGenerator struct {
+	Machine  *mach.Machine
+	Strategy Strategy
+	Options  strategy.Options
+}
+
+// New builds a code generator for a shipped target.
+func New(target string, strat Strategy) (*CodeGenerator, error) {
+	m, err := targets.Load(target)
+	if err != nil {
+		return nil, err
+	}
+	return &CodeGenerator{Machine: m, Strategy: strat}, nil
+}
+
+// NewFromDescription builds a code generator from Maril description text
+// (the retargeting path: write a description, get a code generator).
+func NewFromDescription(name, source string, strat Strategy) (*CodeGenerator, error) {
+	m, err := maril.Parse(name, source)
+	if err != nil {
+		return nil, err
+	}
+	return &CodeGenerator{Machine: m, Strategy: strat}, nil
+}
+
+// Result is a compiled translation unit plus per-function statistics.
+type Result struct {
+	Program *asm.Program
+	Module  *ir.Module
+	Stats   map[string]*strategy.Stats
+}
+
+// Compile compiles C-subset source text.
+func (g *CodeGenerator) Compile(filename, source string) (*Result, error) {
+	file, err := cc.Compile(filename, source)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := ilgen.Lower(file)
+	if err != nil {
+		return nil, err
+	}
+	return g.CompileModule(mod)
+}
+
+// CompileModule compiles an already-lowered IL module.
+func (g *CodeGenerator) CompileModule(mod *ir.Module) (*Result, error) {
+	c, err := driver.CompileModule(g.Machine, mod, driver.Config{
+		Strategy: g.Strategy, Options: g.Options,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Program: c.Prog, Module: c.Module, Stats: c.Stats}, nil
+}
+
+// Execute runs a compiled function on the timing simulator and returns
+// run statistics (cycle counts, result registers, block profile).
+func Execute(p *asm.Program, fn string, args ...sim.Value) (*sim.Stats, error) {
+	return ExecuteOpts(p, sim.Options{}, fn, args...)
+}
+
+// ExecuteOpts is Execute with simulator options (cache model, tracing).
+func ExecuteOpts(p *asm.Program, opts sim.Options, fn string, args ...sim.Value) (*sim.Stats, error) {
+	s := sim.New(p, opts)
+	return s.Run(fn, args...)
+}
+
+// Session couples a compiled program with a persistent simulator, so one
+// call can initialize memory that later calls read.
+type Session struct {
+	Program *asm.Program
+	Sim     *sim.Sim
+}
+
+// NewSession loads a program into a fresh simulator.
+func NewSession(p *asm.Program, opts sim.Options) *Session {
+	return &Session{Program: p, Sim: sim.New(p, opts)}
+}
+
+// Call runs one function; memory state persists across calls.
+func (s *Session) Call(fn string, args ...sim.Value) (*sim.Stats, error) {
+	return s.Sim.Run(fn, args...)
+}
+
+// Describe summarizes a constructed code generator.
+func (g *CodeGenerator) Describe() string {
+	st := g.Machine.Stat()
+	return fmt.Sprintf("%s: %d instructions (%d escapes), %d resources, %d clocks, strategy %s",
+		g.Machine.Name, st.Instrs+st.Moves, st.Funcs+st.Seqs, len(g.Machine.Resources),
+		st.Clocks, g.Strategy)
+}

@@ -1,0 +1,97 @@
+// Package driver ties Marion's phases into a compiler pipeline:
+// C source -> front end -> IL -> glue transform -> instruction selection
+// -> code generation strategy (scheduling + register allocation) ->
+// target program.
+package driver
+
+import (
+	"fmt"
+
+	"marion/internal/asm"
+	"marion/internal/cc"
+	"marion/internal/ilgen"
+	"marion/internal/ir"
+	"marion/internal/mach"
+	"marion/internal/sel"
+	"marion/internal/strategy"
+	"marion/internal/targets"
+	"marion/internal/xform"
+)
+
+// DataBase is the absolute address where globals are laid out.
+const DataBase = 0x2000
+
+// Config selects a target and a strategy.
+type Config struct {
+	Target   string
+	Strategy strategy.Kind
+	Options  strategy.Options
+}
+
+// Compiled is the result of one compilation.
+type Compiled struct {
+	Machine *mach.Machine
+	Module  *ir.Module
+	Prog    *asm.Program
+	Stats   map[string]*strategy.Stats
+}
+
+// Compile compiles a C translation unit for the configured target.
+func Compile(name, src string, cfg Config) (*Compiled, error) {
+	m, err := targets.Load(cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	file, err := cc.Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := ilgen.Lower(file)
+	if err != nil {
+		return nil, err
+	}
+	return CompileModule(m, mod, cfg)
+}
+
+// CompileModule runs the back end on an already-lowered module.
+func CompileModule(m *mach.Machine, mod *ir.Module, cfg Config) (*Compiled, error) {
+	out := &Compiled{
+		Machine: m,
+		Module:  mod,
+		Prog:    &asm.Program{Machine: m, Name: mod.Name},
+		Stats:   map[string]*strategy.Stats{},
+	}
+
+	// Data layout: globals at absolute addresses from DataBase.
+	addr := DataBase
+	for _, g := range mod.Globals {
+		if g.Kind == ir.SymFunc {
+			continue
+		}
+		if addr%8 != 0 {
+			addr += 8 - addr%8
+		}
+		g.Offset = addr
+		size := g.Size
+		if size == 0 {
+			size = 8
+		}
+		addr += size
+		out.Prog.Globals = append(out.Prog.Globals, g)
+	}
+
+	for _, fn := range mod.Funcs {
+		xform.Apply(m, fn)
+		af, err := sel.Select(m, fn)
+		if err != nil {
+			return nil, fmt.Errorf("%s: selection: %w", fn.Name, err)
+		}
+		st, err := strategy.Apply(m, af, cfg.Strategy, cfg.Options)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %s strategy: %w", fn.Name, cfg.Strategy, err)
+		}
+		out.Stats[fn.Name] = st
+		out.Prog.Funcs = append(out.Prog.Funcs, af)
+	}
+	return out, nil
+}

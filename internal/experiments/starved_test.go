@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+
+	"marion/internal/livermore"
+	"marion/internal/sim"
+	"marion/internal/strategy"
+)
+
+func TestLocalBaselineAndStarvedRegisters(t *testing.T) {
+	// Local-allocation baseline: Marion strategies should beat it
+	// clearly (the paper's 26%-over--O1 shape).
+	kinds := []strategy.Kind{strategy.Local, strategy.Postpass}
+	cyc := map[strategy.Kind]int64{}
+	for _, st := range kinds {
+		for _, id := range []int{1, 3, 5, 7} {
+			k := livermore.ByID(id)
+			c, err := livermore.Build(k, "r2000", st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, stats, err := livermore.Run(c, 1, sim.CacheConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := k.Ref(1); !closeEnough(sum, want) {
+				t.Fatalf("loop%d/%s wrong checksum %v want %v", id, st, sum, want)
+			}
+			cyc[st] += stats.Cycles
+		}
+	}
+	speed := float64(cyc[strategy.Local]) / float64(cyc[strategy.Postpass])
+	t.Logf("local=%d postpass=%d speedup=%.2fx", cyc[strategy.Local], cyc[strategy.Postpass], speed)
+	if speed < 1.1 {
+		t.Errorf("postpass should clearly beat local-only allocation (got %.2fx)", speed)
+	}
+
+	// Register-starved variation: RASE should not lose to Postpass.
+	cyc2 := map[strategy.Kind]int64{}
+	for _, st := range []strategy.Kind{strategy.Postpass, strategy.RASE, strategy.IPS} {
+		for _, id := range []int{7, 8, 9, 10} {
+			k := livermore.ByID(id)
+			c, err := livermore.Build(k, "r2000s", st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, stats, err := livermore.Run(c, 1, sim.CacheConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := k.Ref(1); !closeEnough(sum, want) {
+				t.Fatalf("loop%d/%s wrong checksum %v want %v", id, st, sum, want)
+			}
+			cyc2[st] += stats.Cycles
+		}
+	}
+	t.Logf("starved: postpass=%d ips=%d rase=%d", cyc2[strategy.Postpass], cyc2[strategy.IPS], cyc2[strategy.RASE])
+	if float64(cyc2[strategy.RASE]) > 1.05*float64(cyc2[strategy.Postpass]) {
+		t.Errorf("RASE much slower than postpass under register pressure")
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := 1.0
+	if b > m {
+		m = b
+	}
+	if b < -m {
+		m = -b
+	}
+	return d <= 1e-9*m
+}

@@ -1,0 +1,518 @@
+package ilgen
+
+import (
+	"marion/internal/cc"
+	"marion/internal/ir"
+)
+
+// objAddr returns the (base, offset) address of a memory-resident object.
+func (g *gen) objAddr(o *cc.Obj) (*ir.Node, int64) {
+	if s, ok := g.globals[o]; ok {
+		return ir.NewAddr(s), 0
+	}
+	if s, ok := g.mems[o]; ok {
+		return &ir.Node{Op: ir.Frame, Type: ir.Ptr}, int64(s.Offset)
+	}
+	panic("ilgen: objAddr of register variable " + o.Name)
+}
+
+// load emits a typed load from base+off.
+func (g *gen) load(base *ir.Node, off int64, t ir.Type) *ir.Node {
+	addr := ir.New(ir.Add, ir.Ptr, base, ir.NewConst(ir.I32, off))
+	return ir.New(ir.Load, t, addr)
+}
+
+// store appends a typed store of v to base+off.
+func (g *gen) store(base *ir.Node, off int64, v *ir.Node, t ir.Type) {
+	addr := ir.New(ir.Add, ir.Ptr, base, ir.NewConst(ir.I32, off))
+	n := ir.New(ir.Store, t, addr, v)
+	g.append(n)
+}
+
+// addr lowers an lvalue (or array-valued) expression to (base, offset).
+func (g *gen) addr(e *cc.Expr) (*ir.Node, int64, error) {
+	switch e.Kind {
+	case cc.EIdent:
+		o := e.Obj
+		if _, ok := g.regs[o]; ok {
+			return nil, 0, g.errf(e.Line, "internal: address of register variable %q", o.Name)
+		}
+		b, off := g.objAddr(o)
+		return b, off, nil
+
+	case cc.EUnary:
+		if e.Op == cc.TStar {
+			p, err := g.expr(e.L)
+			if err != nil {
+				return nil, 0, err
+			}
+			return p, 0, nil
+		}
+
+	case cc.EIndex:
+		var base *ir.Node
+		var off int64
+		var err error
+		// The base is either an array lvalue or a pointer value.
+		lt := e.L.Type
+		if lt.Kind == cc.KArray {
+			base, off, err = g.addr(e.L)
+		} else {
+			base, err = g.expr(e.L)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		size := int64(e.L.Type.Elem.Size())
+		idx, err := g.expr(e.R)
+		if err != nil {
+			return nil, 0, err
+		}
+		if idx.IsConst() {
+			return base, off + idx.IVal*size, nil
+		}
+		scaled := scale(idx, size)
+		if off != 0 {
+			// Keep the constant outermost so load/store patterns fold it.
+			base = ir.New(ir.Add, ir.Ptr, base, scaled)
+			return base, off, nil
+		}
+		return ir.New(ir.Add, ir.Ptr, base, scaled), 0, nil
+	}
+	return nil, 0, g.errf(e.Line, "expression is not addressable")
+}
+
+// scale multiplies an index by a constant element size, using a shift for
+// powers of two.
+func scale(idx *ir.Node, size int64) *ir.Node {
+	if size == 1 {
+		return idx
+	}
+	if size&(size-1) == 0 {
+		sh := int64(0)
+		for s := size; s > 1; s >>= 1 {
+			sh++
+		}
+		return ir.New(ir.Shl, ir.I32, idx, ir.NewConst(ir.I32, sh))
+	}
+	return ir.New(ir.Mul, ir.I32, idx, ir.NewConst(ir.I32, size))
+}
+
+func binOp(op cc.Tok) ir.Op {
+	switch op {
+	case cc.TPlus, cc.TPlusEq:
+		return ir.Add
+	case cc.TMinus, cc.TMinusEq:
+		return ir.Sub
+	case cc.TStar, cc.TStarEq:
+		return ir.Mul
+	case cc.TSlash, cc.TSlashEq:
+		return ir.Div
+	case cc.TPercent, cc.TPercentEq:
+		return ir.Rem
+	case cc.TPipe:
+		return ir.Or
+	case cc.TCaret:
+		return ir.Xor
+	case cc.TAmp:
+		return ir.And
+	case cc.TShl:
+		return ir.Shl
+	case cc.TShr:
+		return ir.Shr
+	}
+	return ir.BadOp
+}
+
+// expr lowers an expression to an IL value node, appending any
+// side-effecting statement roots to the current block.
+func (g *gen) expr(e *cc.Expr) (*ir.Node, error) {
+	switch e.Kind {
+	case cc.EIntLit:
+		return ir.NewConst(e.Type.IR(), e.IVal), nil
+
+	case cc.EFloatLit:
+		t := e.Type.IR()
+		s := g.floatConst(e.FVal, t)
+		return g.load(ir.NewAddr(s), 0, t), nil
+
+	case cc.EIdent:
+		o := e.Obj
+		if r, ok := g.regs[o]; ok {
+			return ir.NewReg(o.Type.IR(), r), nil
+		}
+		if o.Type.Kind == cc.KArray {
+			b, off := g.objAddr(o)
+			if off == 0 {
+				return b, nil
+			}
+			return ir.New(ir.Add, ir.Ptr, b, ir.NewConst(ir.I32, off)), nil
+		}
+		b, off := g.objAddr(o)
+		return g.load(b, off, o.Type.IR()), nil
+
+	case cc.EUnary:
+		switch e.Op {
+		case cc.TMinus:
+			k, err := g.expr(e.L)
+			if err != nil {
+				return nil, err
+			}
+			return ir.New(ir.Neg, e.Type.IR(), k), nil
+		case cc.TTilde:
+			k, err := g.expr(e.L)
+			if err != nil {
+				return nil, err
+			}
+			return ir.New(ir.Not, e.Type.IR(), k), nil
+		case cc.TBang:
+			return g.condValue(e)
+		case cc.TStar:
+			b, off, err := g.addr(e)
+			if err != nil {
+				return nil, err
+			}
+			return g.load(b, off, e.Type.IR()), nil
+		case cc.TAmp:
+			b, off, err := g.addr(e.L)
+			if err != nil {
+				return nil, err
+			}
+			if off == 0 {
+				return b, nil
+			}
+			return ir.New(ir.Add, ir.Ptr, b, ir.NewConst(ir.I32, off)), nil
+		}
+
+	case cc.EBinary:
+		switch e.Op {
+		case cc.TAndAnd, cc.TOrOr, cc.TEq, cc.TNe, cc.TLt, cc.TLe, cc.TGt, cc.TGe:
+			return g.condValue(e)
+		}
+		l, err := g.expr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := g.expr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		// Pointer arithmetic scales the integer operand.
+		if e.L.Type.Kind == cc.KPtr && e.R.Type.IsInteger() {
+			size := int64(e.L.Type.Elem.Size())
+			if r.IsConst() {
+				r = ir.NewConst(ir.I32, r.IVal*size)
+			} else {
+				r = scale(r, size)
+			}
+			return ir.New(binOp(e.Op), ir.Ptr, l, r), nil
+		}
+		if e.Op == cc.TMinus && e.L.Type.Kind == cc.KPtr && e.R.Type.Kind == cc.KPtr {
+			size := int64(e.L.Type.Elem.Size())
+			diff := ir.New(ir.Sub, ir.I32, l, r)
+			if size == 1 {
+				return diff, nil
+			}
+			return ir.New(ir.Div, ir.I32, diff, ir.NewConst(ir.I32, size)), nil
+		}
+		n := ir.New(binOp(e.Op), e.Type.IR(), l, r)
+		normalizeCommutative(n)
+		return foldConst(n), nil
+
+	case cc.EAssign:
+		return g.assign(e)
+
+	case cc.ECond:
+		return g.condValue(e)
+
+	case cc.ECall:
+		return g.call(e)
+
+	case cc.EIndex:
+		b, off, err := g.addr(e)
+		if err != nil {
+			return nil, err
+		}
+		if e.Type.Kind == cc.KArray {
+			// Address of a sub-array (multi-dimensional indexing).
+			if off == 0 {
+				return b, nil
+			}
+			return ir.New(ir.Add, ir.Ptr, b, ir.NewConst(ir.I32, off)), nil
+		}
+		return g.load(b, off, e.Type.IR()), nil
+
+	case cc.ECast:
+		k, err := g.expr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		return g.cast(k, e.L.Type.IR(), e.Type.IR()), nil
+
+	case cc.EPreIncDec, cc.EPostIncDec:
+		return g.incDec(e)
+	}
+	return nil, g.errf(e.Line, "unhandled expression kind %d", e.Kind)
+}
+
+// cast converts value v from IL type from to IL type to, folding
+// constants and dropping conversions with no machine-level effect.
+func (g *gen) cast(v *ir.Node, from, to ir.Type) *ir.Node {
+	if from == to {
+		return v
+	}
+	if v.IsConst() {
+		switch {
+		case from.IsFloat() && to.IsFloat():
+			return ir.NewFConst(to, v.FVal)
+		case from.IsFloat() && to.IsInt():
+			return ir.NewConst(to, int64(v.FVal))
+		case from.IsInt() && to.IsFloat():
+			f := ir.NewFConst(to, float64(v.IVal))
+			// Floating constants must live in memory.
+			s := g.floatConst(f.FVal, to)
+			return g.load(ir.NewAddr(s), 0, to)
+		default:
+			return ir.NewConst(to, v.IVal)
+		}
+	}
+	// Integer-to-integer conversions are free: registers hold extended
+	// 32-bit values and narrow stores truncate.
+	if from.IsInt() && to.IsInt() {
+		v2 := *v
+		v2.Type = to
+		return &v2
+	}
+	n := ir.New(ir.Cvt, to, v)
+	n.From = from
+	return n
+}
+
+// normalizeCommutative moves a constant operand of a commutative operator
+// to the right, so immediate-form patterns match.
+func normalizeCommutative(n *ir.Node) {
+	if n.Op.Commutative() && len(n.Kids) == 2 &&
+		n.Kids[0].IsConst() && !n.Kids[1].IsConst() {
+		n.Kids[0], n.Kids[1] = n.Kids[1], n.Kids[0]
+	}
+}
+
+// foldConst folds integer constant operations.
+func foldConst(n *ir.Node) *ir.Node {
+	if len(n.Kids) != 2 || !n.Kids[0].IsConst() || !n.Kids[1].IsConst() || !n.Type.IsInt() {
+		return n
+	}
+	a, b := n.Kids[0].IVal, n.Kids[1].IVal
+	var v int64
+	switch n.Op {
+	case ir.Add:
+		v = a + b
+	case ir.Sub:
+		v = a - b
+	case ir.Mul:
+		v = a * b
+	case ir.And:
+		v = a & b
+	case ir.Or:
+		v = a | b
+	case ir.Xor:
+		v = a ^ b
+	case ir.Shl:
+		v = int64(int32(a) << uint(b))
+	case ir.Shr:
+		v = int64(int32(a) >> uint(b))
+	case ir.Div:
+		if b == 0 {
+			return n
+		}
+		v = a / b
+	case ir.Rem:
+		if b == 0 {
+			return n
+		}
+		v = a % b
+	default:
+		return n
+	}
+	return ir.NewConst(n.Type, v)
+}
+
+// assign lowers plain and compound assignment; the result is the stored
+// value.
+func (g *gen) assign(e *cc.Expr) (*ir.Node, error) {
+	// Register-resident destination.
+	if e.L.Kind == cc.EIdent {
+		if r, ok := g.regs[e.L.Obj]; ok {
+			var v *ir.Node
+			var err error
+			if e.Op == cc.TAssign {
+				v, err = g.expr(e.R)
+			} else {
+				var rhs *ir.Node
+				rhs, err = g.expr(e.R)
+				if err != nil {
+					return nil, err
+				}
+				cur := ir.NewReg(e.L.Type.IR(), r)
+				v = ir.New(binOp(e.Op), e.L.Type.IR(), cur, rhs)
+				normalizeCommutative(v)
+			}
+			if err != nil {
+				return nil, err
+			}
+			g.append(&ir.Node{Op: ir.Asgn, Type: v.Type, Reg: r, Kids: []*ir.Node{v}})
+			return v, nil
+		}
+	}
+	// Memory destination.
+	b, off, err := g.addr(e.L)
+	if err != nil {
+		return nil, err
+	}
+	t := e.L.Type.IR()
+	var v *ir.Node
+	if e.Op == cc.TAssign {
+		v, err = g.expr(e.R)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rhs, err := g.expr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		cur := g.load(b, off, t)
+		if e.L.Type.Kind == cc.KPtr && e.R.Type.IsInteger() {
+			size := int64(e.L.Type.Elem.Size())
+			if rhs.IsConst() {
+				rhs = ir.NewConst(ir.I32, rhs.IVal*size)
+			} else {
+				rhs = scale(rhs, size)
+			}
+		}
+		v = ir.New(binOp(e.Op), t, cur, rhs)
+		normalizeCommutative(v)
+	}
+	g.store(b, off, v, t)
+	return v, nil
+}
+
+// incDec lowers ++/--; post-forms capture the old value in a temporary.
+func (g *gen) incDec(e *cc.Expr) (*ir.Node, error) {
+	t := e.L.Type.IR()
+	var one *ir.Node
+	delta := int64(1)
+	if e.L.Type.Kind == cc.KPtr {
+		delta = int64(e.L.Type.Elem.Size())
+	}
+	if t.IsFloat() {
+		s := g.floatConst(1, t)
+		one = g.load(ir.NewAddr(s), 0, t)
+	} else {
+		one = ir.NewConst(t, delta)
+	}
+	op := ir.Add
+	if e.Op == cc.TDec {
+		op = ir.Sub
+	}
+
+	if e.L.Kind == cc.EIdent {
+		if r, ok := g.regs[e.L.Obj]; ok {
+			oldv := ir.NewReg(t, r)
+			if e.Kind == cc.EPostIncDec {
+				// Capture the old value first.
+				tmp := g.fn.NewReg(t, "")
+				g.append(&ir.Node{Op: ir.Asgn, Type: t, Reg: tmp, Kids: []*ir.Node{oldv}})
+				newv := ir.New(op, t, ir.NewReg(t, r), one)
+				g.append(&ir.Node{Op: ir.Asgn, Type: t, Reg: r, Kids: []*ir.Node{newv}})
+				return ir.NewReg(t, tmp), nil
+			}
+			newv := ir.New(op, t, oldv, one)
+			g.append(&ir.Node{Op: ir.Asgn, Type: t, Reg: r, Kids: []*ir.Node{newv}})
+			return ir.NewReg(t, r), nil
+		}
+	}
+	b, off, err := g.addr(e.L)
+	if err != nil {
+		return nil, err
+	}
+	oldv := g.load(b, off, t)
+	newv := ir.New(op, t, oldv, one)
+	g.store(b, off, newv, t)
+	if e.Kind == cc.EPostIncDec {
+		return oldv, nil
+	}
+	return newv, nil
+}
+
+// call lowers a function call; the Call node itself is the value.
+func (g *gen) call(e *cc.Expr) (*ir.Node, error) {
+	callee := e.L.Obj
+	n := &ir.Node{Op: ir.Call, Type: e.Type.IR()}
+	n.Sym = g.funcSym(callee)
+	for _, a := range e.Args {
+		v, err := g.expr(a)
+		if err != nil {
+			return nil, err
+		}
+		n.Kids = append(n.Kids, v)
+	}
+	g.append(n)
+	return n, nil
+}
+
+// funcSym returns (creating on demand) the ir.Sym for a function object.
+func (g *gen) funcSym(o *cc.Obj) *ir.Sym {
+	if s, ok := g.globals[o]; ok {
+		return s
+	}
+	s := &ir.Sym{Name: o.Name, Kind: ir.SymFunc, Type: o.Type.Elem.IR()}
+	g.globals[o] = s
+	o.Sym = s
+	return s
+}
+
+// condValue lowers a boolean-valued expression (relational, logical or
+// ?:) using control flow and a temporary register.
+func (g *gen) condValue(e *cc.Expr) (*ir.Node, error) {
+	if e.Kind == cc.ECond {
+		t := e.Type.IR()
+		tmp := g.fn.NewReg(t, "")
+		tb := g.fn.NewBlock()
+		fb := g.fn.NewBlock()
+		end := g.fn.NewBlock()
+		if err := g.cond(e.C, tb, fb, tb); err != nil {
+			return nil, err
+		}
+		g.startBlock(tb)
+		v, err := g.expr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		g.append(&ir.Node{Op: ir.Asgn, Type: t, Reg: tmp, Kids: []*ir.Node{v}})
+		g.jump(end)
+		g.startBlock(fb)
+		v, err = g.expr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		g.append(&ir.Node{Op: ir.Asgn, Type: t, Reg: tmp, Kids: []*ir.Node{v}})
+		g.startBlock(end)
+		return ir.NewReg(t, tmp), nil
+	}
+
+	tmp := g.fn.NewReg(ir.I32, "")
+	tb := g.fn.NewBlock()
+	fb := g.fn.NewBlock()
+	end := g.fn.NewBlock()
+	if err := g.cond(e, tb, fb, tb); err != nil {
+		return nil, err
+	}
+	g.startBlock(tb)
+	g.append(&ir.Node{Op: ir.Asgn, Type: ir.I32, Reg: tmp, Kids: []*ir.Node{ir.NewConst(ir.I32, 1)}})
+	g.jump(end)
+	g.startBlock(fb)
+	g.append(&ir.Node{Op: ir.Asgn, Type: ir.I32, Reg: tmp, Kids: []*ir.Node{ir.NewConst(ir.I32, 0)}})
+	g.startBlock(end)
+	return ir.NewReg(ir.I32, tmp), nil
+}

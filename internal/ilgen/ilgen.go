@@ -1,0 +1,539 @@
+// Package ilgen lowers the type-checked C AST to Marion's IL: a control
+// flow graph of basic blocks holding DAGs of typed low-level operators.
+package ilgen
+
+import (
+	"fmt"
+
+	"marion/internal/cc"
+	"marion/internal/ir"
+)
+
+// Lower converts a checked translation unit into an IL module.
+func Lower(file *cc.File) (*ir.Module, error) {
+	g := &gen{
+		m:       &ir.Module{Name: file.Name},
+		globals: map[*cc.Obj]*ir.Sym{},
+		fpool:   map[fpoolKey]*ir.Sym{},
+	}
+	for _, o := range file.Globals {
+		if o.Kind != cc.ObjGlobal {
+			continue
+		}
+		s := &ir.Sym{
+			Name:    o.Name,
+			Kind:    ir.SymGlobal,
+			Type:    o.Type.BaseElem().IR(),
+			Size:    o.Type.Size(),
+			IsArray: o.Type.Kind == cc.KArray,
+			InitI:   o.InitI,
+			InitF:   o.InitF,
+		}
+		g.m.Globals = append(g.m.Globals, s)
+		g.globals[o] = s
+		o.Sym = s
+	}
+	for _, fd := range file.Funcs {
+		fn, err := g.lowerFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		g.m.Funcs = append(g.m.Funcs, fn)
+	}
+	return g.m, nil
+}
+
+type fpoolKey struct {
+	v float64
+	t ir.Type
+}
+
+type gen struct {
+	m       *ir.Module
+	globals map[*cc.Obj]*ir.Sym
+	fpool   map[fpoolKey]*ir.Sym
+
+	fd     *cc.FuncDecl
+	fn     *ir.Func
+	cur    *ir.Block
+	regs   map[*cc.Obj]ir.RegID // register-resident variables
+	mems   map[*cc.Obj]*ir.Sym  // memory-resident locals/params
+	breaks []*ir.Block
+	conts  []*ir.Block
+	depth  int // current loop nesting depth
+	// layout records blocks in the order they are started: the emission
+	// order, which defines branch fallthrough.
+	layout  []*ir.Block
+	started map[*ir.Block]bool
+}
+
+func (g *gen) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", g.m.Name, line, fmt.Sprintf(format, args...))
+}
+
+// floatConst returns the pool symbol holding a floating constant.
+func (g *gen) floatConst(v float64, t ir.Type) *ir.Sym {
+	k := fpoolKey{v, t}
+	if s, ok := g.fpool[k]; ok {
+		return s
+	}
+	s := &ir.Sym{
+		Name:  fmt.Sprintf(".fc%d", len(g.fpool)),
+		Kind:  ir.SymGlobal,
+		Type:  t,
+		Size:  t.Size(),
+		InitF: []float64{v},
+	}
+	g.fpool[k] = s
+	g.m.Globals = append(g.m.Globals, s)
+	return s
+}
+
+// addrTaken computes the set of objects whose address is taken anywhere
+// in the function body.
+func addrTaken(fd *cc.FuncDecl) map[*cc.Obj]bool {
+	taken := map[*cc.Obj]bool{}
+	var walkE func(e *cc.Expr)
+	walkE = func(e *cc.Expr) {
+		if e == nil {
+			return
+		}
+		if e.Kind == cc.EUnary && e.Op == cc.TAmp && e.L.Kind == cc.EIdent {
+			if o := e.L.Obj; o != nil && (o.Kind == cc.ObjLocal || o.Kind == cc.ObjParam) {
+				taken[o] = true
+			}
+		}
+		walkE(e.L)
+		walkE(e.R)
+		walkE(e.C)
+		for _, a := range e.Args {
+			walkE(a)
+		}
+	}
+	var walkS func(s *cc.Stmt)
+	walkS = func(s *cc.Stmt) {
+		if s == nil {
+			return
+		}
+		walkE(s.E)
+		walkE(s.Cond)
+		walkE(s.Post)
+		walkE(s.DeclInit)
+		walkS(s.Init)
+		walkS(s.Body)
+		walkS(s.Else)
+		for _, k := range s.List {
+			walkS(k)
+		}
+	}
+	walkS(fd.Body)
+	return taken
+}
+
+func (g *gen) lowerFunc(fd *cc.FuncDecl) (*ir.Func, error) {
+	g.fd = fd
+	g.fn = ir.NewFunc(fd.Obj.Name, fd.Obj.Type.Elem.IR())
+	g.regs = map[*cc.Obj]ir.RegID{}
+	g.mems = map[*cc.Obj]*ir.Sym{}
+	g.breaks, g.conts = nil, nil
+
+	taken := addrTaken(fd)
+
+	frame := 0
+	newFrameSym := func(o *cc.Obj, kind ir.SymKind) *ir.Sym {
+		size := o.Type.Size()
+		if size%8 != 0 {
+			size += 8 - size%8
+		}
+		frame += size
+		s := &ir.Sym{
+			Name:    o.Name,
+			Kind:    kind,
+			Type:    o.Type.BaseElem().IR(),
+			Size:    o.Type.Size(),
+			Offset:  -frame,
+			IsArray: o.Type.Kind == cc.KArray,
+		}
+		g.fn.Locals = append(g.fn.Locals, s)
+		g.mems[o] = s
+		o.Sym = s
+		return s
+	}
+
+	// Parameters: register-resident unless address-taken.
+	for _, p := range fd.Params {
+		sym := &ir.Sym{Name: p.Name, Kind: ir.SymParam, Type: p.Type.IR(), Size: p.Type.Size()}
+		g.fn.Params = append(g.fn.Params, sym)
+		p.Sym = sym
+		if taken[p] {
+			newFrameSym(p, ir.SymLocal)
+			g.fn.ParamRegs = append(g.fn.ParamRegs, ir.NoReg)
+		} else {
+			r := g.fn.NewReg(p.Type.IR(), p.Name)
+			g.regs[p] = r
+			g.fn.ParamRegs = append(g.fn.ParamRegs, r)
+		}
+	}
+
+	// Locals: arrays and address-taken scalars go to the frame.
+	for _, o := range fd.Locals {
+		if o.Type.Kind == cc.KArray || taken[o] {
+			newFrameSym(o, ir.SymLocal)
+		} else {
+			g.regs[o] = g.fn.NewReg(o.Type.IR(), o.Name)
+		}
+	}
+	g.fn.LocalFrame = frame
+
+	g.cur = nil
+	g.layout = nil
+	g.started = map[*ir.Block]bool{}
+	g.startBlock(g.fn.NewBlock())
+	if err := g.stmt(fd.Body); err != nil {
+		return nil, err
+	}
+	// Implicit return at the end of the function body.
+	if !g.terminated() {
+		g.append(&ir.Node{Op: ir.Ret})
+	}
+	// Emission order is start order, not creation order: blocks created
+	// early but populated late (join blocks) move to their start point.
+	g.fn.Blocks = g.layout
+	g.pruneUnreachable()
+	for _, b := range g.fn.Blocks {
+		cseBlock(b)
+	}
+	g.fn.MarkGlobalRegs()
+	return g.fn, nil
+}
+
+// startBlock makes b the current block, recording the fallthrough edge
+// from the previous block when it does not end in an unconditional
+// transfer.
+func (g *gen) startBlock(b *ir.Block) {
+	if g.cur != nil && !g.terminated() {
+		g.cur.AddEdge(b)
+	}
+	if !g.started[b] {
+		g.started[b] = true
+		g.layout = append(g.layout, b)
+	}
+	b.LoopDepth = g.depth
+	g.cur = b
+}
+
+// terminated reports whether the current block ends with an
+// unconditional control transfer.
+func (g *gen) terminated() bool {
+	n := len(g.cur.Stmts)
+	if n == 0 {
+		return false
+	}
+	switch g.cur.Stmts[n-1].Op {
+	case ir.Jump, ir.Ret:
+		return true
+	}
+	return false
+}
+
+func (g *gen) append(n *ir.Node) { g.cur.Stmts = append(g.cur.Stmts, n) }
+
+// jump appends an unconditional jump to b (unless already terminated).
+func (g *gen) jump(b *ir.Block) {
+	if g.terminated() {
+		return
+	}
+	g.append(&ir.Node{Op: ir.Jump, Target: b})
+	g.cur.AddEdge(b)
+}
+
+// pruneUnreachable drops blocks that have no predecessors and are not the
+// entry block (created by code after return, etc.).
+func (g *gen) pruneUnreachable() {
+	keep := g.fn.Blocks[:1]
+	for _, b := range g.fn.Blocks[1:] {
+		if len(b.Preds) > 0 {
+			keep = append(keep, b)
+			continue
+		}
+		// Remove edges from the dead block.
+		for _, s := range b.Succs {
+			for i, p := range s.Preds {
+				if p == b {
+					s.Preds = append(s.Preds[:i], s.Preds[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	g.fn.Blocks = keep
+}
+
+func (g *gen) stmt(s *cc.Stmt) error {
+	switch s.Kind {
+	case cc.SEmpty:
+		return nil
+
+	case cc.SBlock:
+		for _, k := range s.List {
+			if err := g.stmt(k); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case cc.SDecl:
+		if s.DeclInit == nil {
+			return nil
+		}
+		v, err := g.expr(s.DeclInit)
+		if err != nil {
+			return err
+		}
+		if r, ok := g.regs[s.Decl]; ok {
+			g.append(&ir.Node{Op: ir.Asgn, Type: v.Type, Reg: r, Kids: []*ir.Node{v}})
+			return nil
+		}
+		base, off := g.objAddr(s.Decl)
+		g.store(base, off, v, s.Decl.Type.IR())
+		return nil
+
+	case cc.SExpr:
+		_, err := g.expr(s.E)
+		return err
+
+	case cc.SIf:
+		thenB := g.fn.NewBlock()
+		var elseB, endB *ir.Block
+		endB = g.fn.NewBlock()
+		if s.Else != nil {
+			elseB = g.fn.NewBlock()
+		} else {
+			elseB = endB
+		}
+		if err := g.cond(s.Cond, thenB, elseB, thenB); err != nil {
+			return err
+		}
+		g.startBlock(thenB)
+		if err := g.stmt(s.Body); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			g.jump(endB)
+			g.startBlock(elseB)
+			if err := g.stmt(s.Else); err != nil {
+				return err
+			}
+		}
+		g.startBlock(endB)
+		return nil
+
+	case cc.SWhile:
+		head := g.fn.NewBlock()
+		body := g.fn.NewBlock()
+		end := g.fn.NewBlock()
+		g.jump(head)
+		g.depth++
+		g.startBlock(head)
+		if err := g.cond(s.Cond, body, end, body); err != nil {
+			return err
+		}
+		g.startBlock(body)
+		g.breaks = append(g.breaks, end)
+		g.conts = append(g.conts, head)
+		if err := g.stmt(s.Body); err != nil {
+			return err
+		}
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		g.jump(head)
+		g.depth--
+		g.startBlock(end)
+		return nil
+
+	case cc.SDoWhile:
+		body := g.fn.NewBlock()
+		check := g.fn.NewBlock()
+		end := g.fn.NewBlock()
+		g.jump(body)
+		g.depth++
+		g.startBlock(body)
+		g.breaks = append(g.breaks, end)
+		g.conts = append(g.conts, check)
+		if err := g.stmt(s.Body); err != nil {
+			return err
+		}
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		g.startBlock(check)
+		if err := g.cond(s.Cond, body, end, end); err != nil {
+			return err
+		}
+		g.depth--
+		g.startBlock(end)
+		return nil
+
+	case cc.SFor:
+		if s.Init != nil {
+			if err := g.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		head := g.fn.NewBlock()
+		body := g.fn.NewBlock()
+		post := g.fn.NewBlock()
+		end := g.fn.NewBlock()
+		g.jump(head)
+		g.depth++
+		g.startBlock(head)
+		if s.Cond != nil {
+			if err := g.cond(s.Cond, body, end, body); err != nil {
+				return err
+			}
+		}
+		g.startBlock(body)
+		g.breaks = append(g.breaks, end)
+		g.conts = append(g.conts, post)
+		if err := g.stmt(s.Body); err != nil {
+			return err
+		}
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		g.startBlock(post)
+		if s.Post != nil {
+			if _, err := g.expr(s.Post); err != nil {
+				return err
+			}
+		}
+		g.jump(head)
+		g.depth--
+		g.startBlock(end)
+		return nil
+
+	case cc.SReturn:
+		n := &ir.Node{Op: ir.Ret}
+		if s.E != nil {
+			v, err := g.expr(s.E)
+			if err != nil {
+				return err
+			}
+			n.Kids = []*ir.Node{v}
+			n.Type = v.Type
+		}
+		g.append(n)
+		g.startBlock(g.fn.NewBlock())
+		return nil
+
+	case cc.SBreak:
+		g.jump(g.breaks[len(g.breaks)-1])
+		g.startBlock(g.fn.NewBlock())
+		return nil
+
+	case cc.SContinue:
+		g.jump(g.conts[len(g.conts)-1])
+		g.startBlock(g.fn.NewBlock())
+		return nil
+	}
+	return g.errf(s.Line, "unhandled statement kind %d", s.Kind)
+}
+
+// invertRel returns the negation of a relational operator.
+func invertRel(op ir.Op) ir.Op {
+	switch op {
+	case ir.Eq:
+		return ir.Ne
+	case ir.Ne:
+		return ir.Eq
+	case ir.Lt:
+		return ir.Ge
+	case ir.Le:
+		return ir.Gt
+	case ir.Gt:
+		return ir.Le
+	case ir.Ge:
+		return ir.Lt
+	}
+	return op
+}
+
+// cond lowers expression e as a branch: control goes to t when e is
+// true, to f otherwise. next names the block the caller will lay out
+// immediately after (t or f), so the branch can fall through to it.
+func (g *gen) cond(e *cc.Expr, t, f, next *ir.Block) error {
+	switch {
+	case e.Kind == cc.EUnary && e.Op == cc.TBang:
+		return g.cond(e.L, f, t, next)
+
+	case e.Kind == cc.EBinary && e.Op == cc.TAndAnd:
+		mid := g.fn.NewBlock()
+		if err := g.cond(e.L, mid, f, mid); err != nil {
+			return err
+		}
+		g.startBlock(mid)
+		return g.cond(e.R, t, f, next)
+
+	case e.Kind == cc.EBinary && e.Op == cc.TOrOr:
+		mid := g.fn.NewBlock()
+		if err := g.cond(e.L, t, mid, mid); err != nil {
+			return err
+		}
+		g.startBlock(mid)
+		return g.cond(e.R, t, f, next)
+	}
+
+	// Leaf condition: a relational operator or a scalar tested != 0.
+	var c *ir.Node
+	if e.Kind == cc.EBinary && relOp(e.Op) != ir.BadOp {
+		l, err := g.expr(e.L)
+		if err != nil {
+			return err
+		}
+		r, err := g.expr(e.R)
+		if err != nil {
+			return err
+		}
+		c = ir.New(relOp(e.Op), ir.I32, l, r)
+	} else {
+		v, err := g.expr(e)
+		if err != nil {
+			return err
+		}
+		var zero *ir.Node
+		if v.Type.IsFloat() {
+			// Floating constants live in the literal pool.
+			zero = g.load(ir.NewAddr(g.floatConst(0, v.Type)), 0, v.Type)
+		} else {
+			zero = ir.NewConst(v.Type, 0)
+		}
+		c = ir.New(ir.Ne, ir.I32, v, zero)
+	}
+
+	if next == t {
+		// Branch on the inverse to f; fall through to t.
+		c.Op = invertRel(c.Op)
+		g.append(&ir.Node{Op: ir.Branch, Kids: []*ir.Node{c}, Target: f})
+		g.cur.AddEdge(f)
+	} else {
+		g.append(&ir.Node{Op: ir.Branch, Kids: []*ir.Node{c}, Target: t})
+		g.cur.AddEdge(t)
+	}
+	return nil
+}
+
+func relOp(op cc.Tok) ir.Op {
+	switch op {
+	case cc.TEq:
+		return ir.Eq
+	case cc.TNe:
+		return ir.Ne
+	case cc.TLt:
+		return ir.Lt
+	case cc.TLe:
+		return ir.Le
+	case cc.TGt:
+		return ir.Gt
+	case cc.TGe:
+		return ir.Ge
+	}
+	return ir.BadOp
+}

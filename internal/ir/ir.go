@@ -1,0 +1,452 @@
+// Package ir defines Marion's intermediate language: directed acyclic
+// graphs of typed low-level operators, grouped into basic blocks and
+// functions. It plays the role of Lcc's IL in the paper — the interface
+// between the front end and the retargetable back end.
+package ir
+
+import "fmt"
+
+// Type is the type of an IL value. Marion supports the signed C native
+// types plus unsigned 32-bit integers and pointers.
+type Type uint8
+
+const (
+	Void Type = iota
+	I8        // char
+	I16       // short
+	I32       // int, long
+	U32       // unsigned
+	F32       // float
+	F64       // double
+	Ptr       // data pointer (32-bit address space)
+)
+
+var typeNames = [...]string{"void", "char", "short", "int", "unsigned", "float", "double", "ptr"}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Size returns the size of the type in bytes.
+func (t Type) Size() int {
+	switch t {
+	case Void:
+		return 0
+	case I8:
+		return 1
+	case I16:
+		return 2
+	case F64:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// IsFloat reports whether t is a floating point type.
+func (t Type) IsFloat() bool { return t == F32 || t == F64 }
+
+// IsInt reports whether t is an integer (or pointer) type.
+func (t Type) IsInt() bool {
+	return t == I8 || t == I16 || t == I32 || t == U32 || t == Ptr
+}
+
+// Op is a low-level IL operator.
+type Op uint8
+
+const (
+	BadOp Op = iota
+
+	// Leaves.
+	Const // integer or floating constant (IVal / FVal)
+	Reg   // pseudo-register reference (RegID)
+	Addr  // address of a symbol (Sym)
+	Frame // the frame pointer value (resolved to the CWVM %fp register)
+	Stack // the stack pointer value (resolved to the CWVM %sp register)
+
+	// Arithmetic and logical operators.
+	Add
+	Sub
+	Mul
+	Div
+	Rem
+	Neg
+	And
+	Or
+	Xor
+	Not // bitwise complement
+	Shl
+	Shr // arithmetic for signed, logical for unsigned
+
+	Cvt  // type conversion; From holds the source type
+	High // high 16 bits of a 32-bit constant/address (built-in)
+	Low  // low 16 bits (built-in)
+
+	// Memory.
+	Load  // Kids[0] = address
+	Store // Kids[0] = address, Kids[1] = value; statement root
+
+	// Assignment to a pseudo-register; Kids[0] = value; statement root.
+	Asgn
+
+	// Comparisons. Cmp is the generic compare "::" of the paper; the
+	// relational operators yield 0/1 when used as values and are matched
+	// directly by conditional-branch patterns when under Branch.
+	Cmp
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+
+	// Control transfer; statement roots.
+	Branch // Kids[0] = condition; Target taken, fallthrough otherwise
+	Jump   // Target
+	Call   // Sym = callee (args pre-moved to arg registers/stack)
+	Ret    // return (value pre-moved to result register)
+
+	NumOps
+)
+
+var opNames = [...]string{
+	BadOp: "bad", Const: "const", Reg: "reg", Addr: "addr",
+	Frame: "fp", Stack: "sp",
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Rem: "%",
+	Neg: "neg", And: "&", Or: "|", Xor: "^", Not: "~",
+	Shl: "<<", Shr: ">>", Cvt: "cvt", High: "high", Low: "low",
+	Load: "load", Store: "store", Asgn: "asgn",
+	Cmp: "::", Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	Branch: "branch", Jump: "jump", Call: "call", Ret: "ret",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsRel reports whether op is a relational comparison operator.
+func (op Op) IsRel() bool { return op >= Eq && op <= Ge }
+
+// IsStmt reports whether op can only appear as a statement root.
+func (op Op) IsStmt() bool {
+	switch op {
+	case Store, Asgn, Branch, Jump, Call, Ret:
+		return true
+	}
+	return false
+}
+
+// Commutative reports whether the operator is commutative on its kids.
+func (op Op) Commutative() bool {
+	switch op {
+	case Add, Mul, And, Or, Xor, Eq, Ne:
+		return true
+	}
+	return false
+}
+
+// RegID names a pseudo-register within a function. Physical registers are
+// not represented in the IL; the selector introduces them.
+type RegID int32
+
+// NoReg is the zero RegID, meaning "no register".
+const NoReg RegID = -1
+
+// Node is an IL expression node. Statement roots live in Block.Stmts in
+// source order; shared subexpressions are represented by shared *Node
+// pointers (a DAG), which the selector forces into registers.
+type Node struct {
+	Op   Op
+	Type Type
+	Kids []*Node
+
+	IVal   int64   // Const (integer), also holds char values
+	FVal   float64 // Const (float)
+	Reg    RegID   // Reg, Asgn destination
+	Sym    *Sym    // Addr, Call
+	From   Type    // Cvt source type
+	Target *Block  // Branch, Jump
+
+	// Parents is the number of parents the node has within its block's
+	// statement DAG; maintained by CountParents. A node with more than
+	// one parent is a local common subexpression.
+	Parents int
+}
+
+// NewConst returns an integer constant node of the given type.
+func NewConst(t Type, v int64) *Node { return &Node{Op: Const, Type: t, IVal: v} }
+
+// NewFConst returns a floating constant node of the given type.
+func NewFConst(t Type, v float64) *Node { return &Node{Op: Const, Type: t, FVal: v} }
+
+// NewReg returns a pseudo-register reference.
+func NewReg(t Type, r RegID) *Node { return &Node{Op: Reg, Type: t, Reg: r} }
+
+// NewAddr returns an address-of-symbol leaf.
+func NewAddr(s *Sym) *Node { return &Node{Op: Addr, Type: Ptr, Sym: s} }
+
+// New returns an operator node.
+func New(op Op, t Type, kids ...*Node) *Node {
+	return &Node{Op: op, Type: t, Kids: kids}
+}
+
+// IsConst reports whether n is a constant node.
+func (n *Node) IsConst() bool { return n.Op == Const }
+
+// IsIntConst reports whether n is an integer constant with value v.
+func (n *Node) IsIntConst(v int64) bool {
+	return n.Op == Const && n.Type.IsInt() && n.IVal == v
+}
+
+// Clone returns a deep copy of the expression tree rooted at n. Shared
+// subtrees are duplicated, so Clone must not be used where DAG sharing is
+// meaningful.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := *n
+	c.Kids = make([]*Node, len(n.Kids))
+	for i, k := range n.Kids {
+		c.Kids[i] = k.Clone()
+	}
+	return &c
+}
+
+func (n *Node) String() string {
+	switch n.Op {
+	case Const:
+		if n.Type.IsFloat() {
+			return fmt.Sprintf("%g%s", n.FVal, suffix(n.Type))
+		}
+		return fmt.Sprintf("%d", n.IVal)
+	case Reg:
+		return fmt.Sprintf("t%d", n.Reg)
+	case Addr:
+		return "&" + n.Sym.Name
+	case Asgn:
+		return fmt.Sprintf("t%d = %s", n.Reg, n.Kids[0])
+	case Store:
+		return fmt.Sprintf("m[%s] = %s", n.Kids[0], n.Kids[1])
+	case Load:
+		return fmt.Sprintf("m[%s]:%s", n.Kids[0], n.Type)
+	case Cvt:
+		return fmt.Sprintf("(%s<-%s %s)", n.Type, n.From, n.Kids[0])
+	case Branch:
+		return fmt.Sprintf("if %s goto %s", n.Kids[0], n.Target.Name())
+	case Jump:
+		return "goto " + n.Target.Name()
+	case Call:
+		return "call " + n.Sym.Name
+	case Ret:
+		return "ret"
+	case Neg, Not, High, Low:
+		return fmt.Sprintf("%s(%s)", n.Op, n.Kids[0])
+	default:
+		if len(n.Kids) == 2 {
+			return fmt.Sprintf("(%s %s %s)", n.Kids[0], n.Op, n.Kids[1])
+		}
+		return n.Op.String()
+	}
+}
+
+func suffix(t Type) string {
+	if t == F32 {
+		return "f"
+	}
+	return ""
+}
+
+// SymKind classifies a symbol.
+type SymKind uint8
+
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+	SymFunc
+)
+
+// Sym is a named program entity: a global, a stack local, a parameter or
+// a function.
+type Sym struct {
+	Name string
+	Kind SymKind
+	Type Type // element type for arrays
+	// Size is the total size in bytes (array size for arrays, element
+	// size for scalars). Functions have size 0.
+	Size int
+	// Offset is assigned by the back end: frame offset for locals and
+	// stack-resident params, absolute address for globals.
+	Offset int
+	// IsArray distinguishes arrays from scalars of the same type.
+	IsArray bool
+	// Init holds optional initial data for globals (words, by element).
+	InitI []int64
+	InitF []float64
+}
+
+// Block is a basic block: a label, an ordered list of statement roots and
+// CFG edges.
+type Block struct {
+	ID    int
+	Stmts []*Node
+	Succs []*Block
+	Preds []*Block
+	Fn    *Func
+	// LoopDepth is the loop nesting depth (0 = not in a loop), recorded
+	// by the front end and used for spill-cost weighting and the
+	// profiling substitute.
+	LoopDepth int
+}
+
+// Name returns the block's label, unique within its function.
+func (b *Block) Name() string { return fmt.Sprintf("L%d", b.ID) }
+
+// AddEdge records a CFG edge from b to s.
+func (b *Block) AddEdge(s *Block) {
+	b.Succs = append(b.Succs, s)
+	s.Preds = append(s.Preds, b)
+}
+
+// RegInfo describes one pseudo-register of a function.
+type RegInfo struct {
+	Type Type
+	Name string // user variable name, or "" for a temporary
+	// Global is true when the pseudo-register is live in more than one
+	// basic block (a "global pseudo-register" in the paper's terms).
+	Global bool
+}
+
+// Func is a function: a CFG of basic blocks plus the pseudo-register table.
+type Func struct {
+	Name    string
+	Params  []*Sym
+	Locals  []*Sym
+	Blocks  []*Block
+	Regs    []RegInfo
+	RetType Type
+
+	// ParamRegs maps each parameter to the pseudo-register holding its
+	// value, or NoReg when the parameter is memory-resident (its Sym
+	// carries a frame offset instead).
+	ParamRegs []RegID
+
+	// LocalFrame is the number of bytes of memory-resident locals,
+	// allocated at negative offsets from the frame pointer.
+	LocalFrame int
+
+	nextBlock int
+}
+
+// NewFunc returns an empty function.
+func NewFunc(name string, ret Type) *Func {
+	return &Func{Name: name, RetType: ret}
+}
+
+// NewReg allocates a fresh pseudo-register of type t.
+func (f *Func) NewReg(t Type, name string) RegID {
+	f.Regs = append(f.Regs, RegInfo{Type: t, Name: name})
+	return RegID(len(f.Regs) - 1)
+}
+
+// RegType returns the type of pseudo-register r.
+func (f *Func) RegType(r RegID) Type { return f.Regs[r].Type }
+
+// NewBlock appends a fresh empty block to the function.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: f.nextBlock, Fn: f}
+	f.nextBlock++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// Module is a translation unit: globals plus functions.
+type Module struct {
+	Name    string
+	Globals []*Sym
+	Funcs   []*Func
+}
+
+// Lookup returns the function with the given name, or nil.
+func (m *Module) Lookup(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// CountParents recomputes Node.Parents for every node reachable from the
+// block's statement roots. Statement roots themselves get Parents == 0.
+func (b *Block) CountParents() {
+	seen := map[*Node]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, k := range n.Kids {
+			k.Parents++
+			if !seen[k] {
+				seen[k] = true
+				walk(k)
+			}
+		}
+	}
+	var clear func(n *Node)
+	clear = func(n *Node) {
+		n.Parents = 0
+		for _, k := range n.Kids {
+			if !seen[k] {
+				seen[k] = true
+				clear(k)
+			}
+		}
+	}
+	for _, s := range b.Stmts {
+		clear(s)
+	}
+	seen = map[*Node]bool{}
+	for _, s := range b.Stmts {
+		walk(s)
+	}
+}
+
+// MarkGlobalRegs sets RegInfo.Global for every pseudo-register referenced
+// in more than one basic block.
+func (f *Func) MarkGlobalRegs() {
+	firstBlock := make(map[RegID]int)
+	var visit func(n *Node, bid int, seen map[*Node]bool)
+	visit = func(n *Node, bid int, seen map[*Node]bool) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Op == Reg || n.Op == Asgn {
+			if fb, ok := firstBlock[n.Reg]; ok {
+				if fb != bid {
+					f.Regs[n.Reg].Global = true
+				}
+			} else {
+				firstBlock[n.Reg] = bid
+			}
+		}
+		for _, k := range n.Kids {
+			visit(k, bid, seen)
+		}
+	}
+	for _, b := range f.Blocks {
+		seen := map[*Node]bool{}
+		for _, s := range b.Stmts {
+			visit(s, b.ID, seen)
+		}
+	}
+}

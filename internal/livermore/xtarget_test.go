@@ -1,0 +1,34 @@
+package livermore
+
+import (
+	"fmt"
+	"testing"
+
+	"marion/internal/strategy"
+)
+
+// TestKernelsCrossTarget verifies every kernel on the three real targets
+// with the Postpass strategy, and a subset with IPS and RASE.
+func TestKernelsCrossTarget(t *testing.T) {
+	for _, target := range []string{"r2000", "m88000", "i860", "rs6000"} {
+		for i := range Kernels {
+			k := &Kernels[i]
+			t.Run(fmt.Sprintf("%s/loop%d", target, k.ID), func(t *testing.T) {
+				if err := Verify(k, target, strategy.Postpass, 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+	for _, target := range []string{"r2000", "i860"} {
+		for _, id := range []int{1, 5, 7, 13} {
+			for _, s := range []strategy.Kind{strategy.IPS, strategy.RASE} {
+				t.Run(fmt.Sprintf("%s/loop%d/%s", target, id, s), func(t *testing.T) {
+					if err := Verify(ByID(id), target, s, 1); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}

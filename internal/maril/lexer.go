@@ -1,0 +1,318 @@
+// Package maril implements the Maril machine description language: the
+// lexer, parser and semantic analysis that turn a description into a
+// mach.Machine (the role of the paper's code generator generator).
+package maril
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// TokKind classifies a token.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokDirective // %reg, %instr, ... (Text holds the name without '%')
+	TokInt
+	TokFloat
+	TokDollar // $
+	TokHash   // #
+	TokStar   // *
+	TokLBrace
+	TokRBrace
+	TokLBrack
+	TokRBrack
+	TokLParen
+	TokRParen
+	TokSemi
+	TokComma
+	TokColon
+	TokDColon // ::
+	TokDot
+	TokPlus
+	TokMinus
+	TokSlash
+	TokPercent // '%' not followed by a letter (modulus)
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokBang
+	TokAssign // =
+	TokEq     // ==
+	TokNe     // !=
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokShl
+	TokShr
+	TokArrow // ==>
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokDirective: "directive",
+	TokInt: "integer", TokFloat: "float", TokDollar: "$", TokHash: "#",
+	TokStar: "*", TokLBrace: "{", TokRBrace: "}", TokLBrack: "[",
+	TokRBrack: "]", TokLParen: "(", TokRParen: ")", TokSemi: ";",
+	TokComma: ",", TokColon: ":", TokDColon: "::", TokDot: ".",
+	TokPlus: "+", TokMinus: "-", TokSlash: "/", TokPercent: "%",
+	TokAmp: "&", TokPipe: "|", TokCaret: "^", TokTilde: "~", TokBang: "!",
+	TokAssign: "=", TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=",
+	TokGt: ">", TokGe: ">=", TokShl: "<<", TokShr: ">>", TokArrow: "==>",
+}
+
+func (k TokKind) String() string { return tokNames[k] }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	IVal int64
+	FVal float64
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return t.Text
+	case TokDirective:
+		return "%" + t.Text
+	case TokInt:
+		return strconv.FormatInt(t.IVal, 10)
+	case TokFloat:
+		return strconv.FormatFloat(t.FVal, 'g', -1, 64)
+	}
+	return t.Kind.String()
+}
+
+// Error is a description error with position information.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(file, src string) *lexer { return &lexer{file: file, src: src, line: 1} }
+
+func (lx *lexer) errf(format string, args ...interface{}) *Error {
+	return &Error{File: lx.file, Line: lx.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentCont(c byte) bool {
+	return isLetter(c) || isDigit(c) || c == '.'
+}
+
+func (lx *lexer) peekByte(off int) byte {
+	if lx.pos+off < len(lx.src) {
+		return lx.src[lx.pos+off]
+	}
+	return 0
+}
+
+func (lx *lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.peekByte(1) == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.peekByte(1) == '*':
+			lx.pos += 2
+			for {
+				if lx.pos >= len(lx.src) {
+					return lx.errf("unterminated comment")
+				}
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				if lx.src[lx.pos] == '*' && lx.peekByte(1) == '/' {
+					lx.pos += 2
+					break
+				}
+				lx.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: lx.line}
+	if lx.pos >= len(lx.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case isLetter(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentCont(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		// An identifier must not end with '.'; back off trailing dots.
+		for lx.pos > start+1 && lx.src[lx.pos-1] == '.' {
+			lx.pos--
+		}
+		tok.Kind = TokIdent
+		tok.Text = lx.src[start:lx.pos]
+		return tok, nil
+
+	case isDigit(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '.' && isDigit(lx.peekByte(1)) {
+			lx.pos++
+			for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+				lx.pos++
+			}
+			f, err := strconv.ParseFloat(lx.src[start:lx.pos], 64)
+			if err != nil {
+				return tok, lx.errf("bad float %q", lx.src[start:lx.pos])
+			}
+			tok.Kind = TokFloat
+			tok.FVal = f
+			return tok, nil
+		}
+		v, err := strconv.ParseInt(lx.src[start:lx.pos], 10, 64)
+		if err != nil {
+			return tok, lx.errf("bad integer %q", lx.src[start:lx.pos])
+		}
+		tok.Kind = TokInt
+		tok.IVal = v
+		return tok, nil
+
+	case c == '%':
+		if isLetter(lx.peekByte(1)) {
+			lx.pos++
+			start := lx.pos
+			for lx.pos < len(lx.src) && isIdentCont(lx.src[lx.pos]) {
+				lx.pos++
+			}
+			tok.Kind = TokDirective
+			tok.Text = lx.src[start:lx.pos]
+			return tok, nil
+		}
+		lx.pos++
+		tok.Kind = TokPercent
+		return tok, nil
+	}
+
+	two := func(k TokKind) (Token, error) {
+		lx.pos += 2
+		tok.Kind = k
+		return tok, nil
+	}
+	one := func(k TokKind) (Token, error) {
+		lx.pos++
+		tok.Kind = k
+		return tok, nil
+	}
+	switch c {
+	case '=':
+		if lx.peekByte(1) == '=' {
+			if lx.peekByte(2) == '>' {
+				lx.pos += 3
+				tok.Kind = TokArrow
+				return tok, nil
+			}
+			return two(TokEq)
+		}
+		return one(TokAssign)
+	case '!':
+		if lx.peekByte(1) == '=' {
+			return two(TokNe)
+		}
+		return one(TokBang)
+	case '<':
+		if lx.peekByte(1) == '=' {
+			return two(TokLe)
+		}
+		if lx.peekByte(1) == '<' {
+			return two(TokShl)
+		}
+		return one(TokLt)
+	case '>':
+		if lx.peekByte(1) == '=' {
+			return two(TokGe)
+		}
+		if lx.peekByte(1) == '>' {
+			return two(TokShr)
+		}
+		return one(TokGt)
+	case ':':
+		if lx.peekByte(1) == ':' {
+			return two(TokDColon)
+		}
+		return one(TokColon)
+	case '$':
+		return one(TokDollar)
+	case '#':
+		return one(TokHash)
+	case '*':
+		return one(TokStar)
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '[':
+		return one(TokLBrack)
+	case ']':
+		return one(TokRBrack)
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case ';':
+		return one(TokSemi)
+	case ',':
+		return one(TokComma)
+	case '.':
+		return one(TokDot)
+	case '+':
+		return one(TokPlus)
+	case '-':
+		return one(TokMinus)
+	case '/':
+		return one(TokSlash)
+	case '&':
+		return one(TokAmp)
+	case '|':
+		return one(TokPipe)
+	case '^':
+		return one(TokCaret)
+	case '~':
+		return one(TokTilde)
+	}
+	return tok, lx.errf("unexpected character %q", string(c))
+}

@@ -1,0 +1,122 @@
+// Package regalloc implements Marion's global register allocator: graph
+// coloring in the style of Chaitin with Briggs' optimistic improvement
+// (paper §2.2). Interference is computed from the instruction order
+// presented to the allocator; register pairs (%equiv overlaps) and
+// precolored physical registers are handled through alias sets.
+package regalloc
+
+import (
+	"marion/internal/asm"
+	"marion/internal/mach"
+)
+
+// lkey is a liveness key: pseudo ids negative-shifted, phys ids positive
+// (one key per physical register; aliasing handled at interference time).
+type lkey int64
+
+func pk(p asm.PseudoID) lkey { return lkey(-int64(p) - 1) }
+func hk(p mach.PhysID) lkey  { return lkey(p) }
+
+func (k lkey) isPseudo() bool       { return k < 0 }
+func (k lkey) pseudo() asm.PseudoID { return asm.PseudoID(-int64(k) - 1) }
+func (k lkey) phys() mach.PhysID    { return mach.PhysID(k) }
+
+type liveSet map[lkey]bool
+
+// defsUses returns the keys defined and used by an instruction. A half
+// operand counts as both (a partial write preserves the other half).
+func defsUses(m *mach.Machine, in *asm.Inst) (defs, uses []lkey) {
+	addOp := func(list []lkey, a asm.Operand) []lkey {
+		switch a.Kind {
+		case asm.OpPseudo, asm.OpPseudoHalf:
+			return append(list, pk(a.Pseudo))
+		case asm.OpPhys:
+			for _, al := range m.Aliases(a.Phys) {
+				list = append(list, hk(al))
+			}
+		}
+		return list
+	}
+	for _, oi := range in.Tmpl.DefOps {
+		defs = addOp(defs, in.Args[oi])
+		if in.Args[oi].Kind == asm.OpPseudoHalf {
+			uses = addOp(uses, in.Args[oi])
+		}
+	}
+	for _, oi := range in.Tmpl.UseOps {
+		uses = addOp(uses, in.Args[oi])
+	}
+	for _, p := range in.ImpDefs {
+		for _, al := range m.Aliases(p) {
+			defs = append(defs, hk(al))
+		}
+	}
+	for _, p := range in.ImpUses {
+		for _, al := range m.Aliases(p) {
+			uses = append(uses, hk(al))
+		}
+	}
+	return defs, uses
+}
+
+// liveness computes live-out sets per block by iterative backward
+// dataflow over the CFG.
+func liveness(m *mach.Machine, af *asm.Func) map[*asm.Block]liveSet {
+	liveIn := map[*asm.Block]liveSet{}
+	liveOut := map[*asm.Block]liveSet{}
+	for _, b := range af.Blocks {
+		liveIn[b] = liveSet{}
+		liveOut[b] = liveSet{}
+	}
+	// Map IR blocks to asm blocks for successor lookup.
+	byIR := map[interface{}]*asm.Block{}
+	for _, b := range af.Blocks {
+		byIR[b.IR] = b
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := len(af.Blocks) - 1; i >= 0; i-- {
+			b := af.Blocks[i]
+			out := liveSet{}
+			for _, s := range b.IR.Succs {
+				if sb := byIR[s]; sb != nil {
+					for k := range liveIn[sb] {
+						out[k] = true
+					}
+				}
+			}
+			in := liveSet{}
+			for k := range out {
+				in[k] = true
+			}
+			for j := len(b.Insts) - 1; j >= 0; j-- {
+				defs, uses := defsUses(m, b.Insts[j])
+				for _, d := range defs {
+					delete(in, d)
+				}
+				for _, u := range uses {
+					in[u] = true
+				}
+			}
+			if !sameSet(out, liveOut[b]) || !sameSet(in, liveIn[b]) {
+				changed = true
+			}
+			liveOut[b] = out
+			liveIn[b] = in
+		}
+	}
+	return liveOut
+}
+
+func sameSet(a, b liveSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

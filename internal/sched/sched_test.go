@@ -1,0 +1,389 @@
+package sched
+
+import (
+	"testing"
+
+	"marion/internal/asm"
+	"marion/internal/cdag"
+	"marion/internal/ir"
+	"marion/internal/mach"
+	"marion/internal/maril"
+)
+
+const pipeDesc = `
+declare {
+    %reg r[0:7] (int, ptr);
+    %reg f[0:7] (double);
+    %resource IEX, FEX, MEM;
+    %def imm [-32768:32767];
+    %label lab [-1024:1023] +relative;
+    %memory m[0:65535];
+}
+cwvm {
+    %general (int, ptr) r; %general (double) f;
+    %allocable r[1:5], f[1:5]; %calleesave r[4:5];
+    %sp r[7]; %fp r[6]; %retaddr r[1]; %hard r[0] 0;
+    %result r[2] (int);
+}
+instr {
+    %instr ld r, r, #imm {$1 = m[$2 + $3];} [IEX; MEM] (1,3,0)
+    %instr add r, r, r {$1 = $2 + $3;} [IEX] (1,1,0)
+    %instr fadd f, f, f (double) {$1 = $2 + $3;} [FEX] (1,2,0)
+    %instr beq0 r, #lab {if ($1 == 0) goto $2;} [IEX] (1,2,1)
+    %instr nop {;} [IEX] (1,1,0)
+}
+`
+
+const eapDesc = `
+declare {
+    %clock clk_m;
+    %reg r[0:3] (int, ptr);
+    %reg f[0:7] (double);
+    %reg ml (double; clk_m) +temporal;
+    %reg m2r (double; clk_m) +temporal;
+    %reg m3r (double; clk_m) +temporal;
+    %resource M1, M2, M3, FWBr, IEX;
+}
+cwvm {
+    %general (int, ptr) r; %general (double) f;
+    %allocable f[0:7]; %calleesave f[6:7];
+    %sp r[3]; %fp r[2]; %retaddr r[1]; %hard r[0] 0;
+    %result f[0] (double);
+}
+instr {
+    %instr Ml f, f (double; clk_m) {ml = $1 * $2;} [M1] (1,1,0) <pfmul>
+    %instr M2 (double; clk_m) {m2r = ml;} [M2] (1,1,0) <pfmul>
+    %instr M3 (double; clk_m) {m3r = m2r;} [M3] (1,1,0) <pfmul>
+    %instr FWB f (double; clk_m) {$1 = m3r;} [FWBr] (1,1,0) <pfmul>
+    %instr FWB1 f (double; clk_m) {$1 = ml;} [FWBr] (1,1,0) <pfmul>
+    %instr MTRANS f, f (double; clk_m) {$1 = $2;} [M1] (1,1,0) <pfmul>
+    %instr iadd r, r, r {$1 = $2 + $3;} [IEX] (1,1,0)
+}
+`
+
+func loadDesc(t *testing.T, src string) *mach.Machine {
+	t.Helper()
+	m, err := maril.Parse("test", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+func newBlock(insts ...*asm.Inst) (*asm.Func, *asm.Block) {
+	fn := ir.NewFunc("t", ir.Void)
+	irb := fn.NewBlock()
+	af := &asm.Func{Name: "t", IR: fn}
+	b := &asm.Block{IR: irb, Insts: insts}
+	af.Blocks = []*asm.Block{b}
+	return af, b
+}
+
+// pseudo registers in set for tests
+func mkPseudos(af *asm.Func, set *mach.RegSet, n int) {
+	for i := 0; i < n; i++ {
+		af.NewPseudo(set, ir.NoReg)
+	}
+}
+
+func TestScheduleFillsLoadDelay(t *testing.T) {
+	m := loadDesc(t, pipeDesc)
+	r := m.RegSet("r")
+	ld := m.InstrByLabel("ld")
+	add := m.InstrByLabel("add")
+	// ld t0; add t1 = t0+t0; add t2 = t3+t3 (independent)
+	af, b := newBlock(
+		asm.New(ld, asm.Reg(0), asm.Phys(r.Phys(6)), asm.Imm(0)),
+		asm.New(add, asm.Reg(1), asm.Reg(0), asm.Reg(0)),
+		asm.New(add, asm.Reg(2), asm.Reg(3), asm.Reg(3)),
+	)
+	mkPseudos(af, r, 4)
+	cost := Schedule(m, af, b, Options{})
+	// ld@0, independent add@1 (fills one delay cycle), dependent add@3.
+	if b.Insts[0].Tmpl.Mnemonic != "ld" {
+		t.Fatalf("order: %v", b.Insts)
+	}
+	if b.Insts[1].Tmpl.Mnemonic != "add" || b.Insts[1].Args[0].Pseudo != 2 {
+		t.Errorf("independent add should fill the delay slot: %v at cycle %d",
+			b.Insts[1], b.Insts[1].Cycle)
+	}
+	if b.Insts[2].Cycle != 3 {
+		t.Errorf("dependent add at cycle %d, want 3", b.Insts[2].Cycle)
+	}
+	if cost != 4 {
+		t.Errorf("cost = %d, want 4", cost)
+	}
+}
+
+func TestScheduleDualIssue(t *testing.T) {
+	m := loadDesc(t, pipeDesc)
+	r := m.RegSet("r")
+	f := m.RegSet("f")
+	add := m.InstrByLabel("add")
+	fadd := m.InstrByLabel("fadd")
+	af, b := newBlock(
+		asm.New(add, asm.Reg(0), asm.Reg(1), asm.Reg(1)),
+		asm.New(fadd, asm.Reg(2), asm.Reg(3), asm.Reg(3)),
+	)
+	af.NewPseudo(r, ir.NoReg)
+	af.NewPseudo(r, ir.NoReg)
+	af.NewPseudo(f, ir.NoReg)
+	af.NewPseudo(f, ir.NoReg)
+	cost := Schedule(m, af, b, Options{})
+	if b.Insts[0].Cycle != 0 || b.Insts[1].Cycle != 0 {
+		t.Errorf("int+fp should dual issue: cycles %d %d", b.Insts[0].Cycle, b.Insts[1].Cycle)
+	}
+	if cost != 1 {
+		t.Errorf("cost = %d, want 1", cost)
+	}
+}
+
+func TestScheduleStructuralHazard(t *testing.T) {
+	m := loadDesc(t, pipeDesc)
+	r := m.RegSet("r")
+	add := m.InstrByLabel("add")
+	// Two independent int adds: both need IEX -> serialized.
+	af, b := newBlock(
+		asm.New(add, asm.Reg(0), asm.Reg(1), asm.Reg(1)),
+		asm.New(add, asm.Reg(2), asm.Reg(3), asm.Reg(3)),
+	)
+	mkPseudos(af, r, 4)
+	cost := Schedule(m, af, b, Options{})
+	if b.Insts[0].Cycle == b.Insts[1].Cycle {
+		t.Error("two IEX instructions packed in one cycle")
+	}
+	if cost != 2 {
+		t.Errorf("cost = %d, want 2", cost)
+	}
+}
+
+func TestScheduleDelaySlotNop(t *testing.T) {
+	m := loadDesc(t, pipeDesc)
+	r := m.RegSet("r")
+	add := m.InstrByLabel("add")
+	beq := m.InstrByLabel("beq0")
+	fn := ir.NewFunc("t", ir.Void)
+	irb := fn.NewBlock()
+	tgt := fn.NewBlock()
+	af := &asm.Func{Name: "t", IR: fn}
+	b := &asm.Block{IR: irb, Insts: []*asm.Inst{
+		asm.New(add, asm.Reg(0), asm.Reg(1), asm.Reg(1)),
+		asm.New(beq, asm.Reg(0), asm.Operand{Kind: asm.OpBlock, Block: tgt}),
+	}}
+	af.Blocks = []*asm.Block{b}
+	mkPseudos(af, r, 2)
+	cost := Schedule(m, af, b, Options{})
+	last := b.Insts[len(b.Insts)-1]
+	if last.Tmpl != m.Nop {
+		t.Fatalf("expected nop in delay slot, got %v", last)
+	}
+	// add@0, beq@1 (latency of add is 1), nop@2.
+	if cost != 3 {
+		t.Errorf("cost = %d, want 3", cost)
+	}
+}
+
+func TestScheduleMaxDistancePriority(t *testing.T) {
+	m := loadDesc(t, pipeDesc)
+	r := m.RegSet("r")
+	ld := m.InstrByLabel("ld")
+	add := m.InstrByLabel("add")
+	// Thread order: cheap add first, then a load chain. Max-distance must
+	// hoist the load to cycle 0.
+	af, b := newBlock(
+		asm.New(add, asm.Reg(4), asm.Reg(5), asm.Reg(5)),
+		asm.New(ld, asm.Reg(0), asm.Phys(r.Phys(6)), asm.Imm(0)),
+		asm.New(add, asm.Reg(1), asm.Reg(0), asm.Reg(0)),
+	)
+	mkPseudos(af, r, 6)
+	Schedule(m, af, b, Options{})
+	if b.Insts[0].Tmpl.Mnemonic != "ld" {
+		t.Errorf("load not hoisted: first = %v", b.Insts[0])
+	}
+
+	// FIFO ablation keeps thread order.
+	af2, b2 := newBlock(
+		asm.New(add, asm.Reg(4), asm.Reg(5), asm.Reg(5)),
+		asm.New(ld, asm.Reg(0), asm.Phys(r.Phys(6)), asm.Imm(0)),
+		asm.New(add, asm.Reg(1), asm.Reg(0), asm.Reg(0)),
+	)
+	mkPseudos(af2, r, 6)
+	Schedule(m, af2, b2, Options{FIFO: true})
+	if b2.Insts[0].Tmpl.Mnemonic != "add" {
+		t.Errorf("FIFO should keep thread order: first = %v", b2.Insts[0])
+	}
+}
+
+func TestScheduleRegisterPressureLimit(t *testing.T) {
+	m := loadDesc(t, pipeDesc)
+	r := m.RegSet("r")
+	ld := m.InstrByLabel("ld")
+	add := m.InstrByLabel("add")
+	fp := r.Phys(6)
+	// Four loads, each with a dependent add into a reused register.
+	// Unlimited: all loads hoist first (4 live). Limit 2: at most 2 live.
+	mk := func() (*asm.Func, *asm.Block) {
+		af, b := newBlock(
+			asm.New(ld, asm.Reg(0), asm.Phys(fp), asm.Imm(0)),
+			asm.New(add, asm.Reg(4), asm.Reg(0), asm.Reg(0)),
+			asm.New(ld, asm.Reg(1), asm.Phys(fp), asm.Imm(8)),
+			asm.New(add, asm.Reg(5), asm.Reg(1), asm.Reg(1)),
+			asm.New(ld, asm.Reg(2), asm.Phys(fp), asm.Imm(16)),
+			asm.New(add, asm.Reg(6), asm.Reg(2), asm.Reg(2)),
+			asm.New(ld, asm.Reg(3), asm.Phys(fp), asm.Imm(24)),
+			asm.New(add, asm.Reg(7), asm.Reg(3), asm.Reg(3)),
+		)
+		mkPseudos(af, r, 8)
+		return af, b
+	}
+	maxLive := func(b *asm.Block, af *asm.Func) int {
+		// replay: live range by first def / last use over final order
+		first := map[asm.PseudoID]int{}
+		last := map[asm.PseudoID]int{}
+		for i, in := range b.Insts {
+			for _, a := range in.Args {
+				if a.Kind == asm.OpPseudo {
+					if _, ok := first[a.Pseudo]; !ok {
+						first[a.Pseudo] = i
+					}
+					last[a.Pseudo] = i
+				}
+			}
+		}
+		best := 0
+		for i := range b.Insts {
+			n := 0
+			for p := range first {
+				if first[p] <= i && i < last[p] {
+					n++
+				}
+			}
+			if n > best {
+				best = n
+			}
+		}
+		return best
+	}
+
+	af1, b1 := mk()
+	Schedule(m, af1, b1, Options{})
+	free := maxLive(b1, af1)
+
+	af2, b2 := mk()
+	lim := map[*mach.RegSet]int{r: 2}
+	Schedule(m, af2, b2, Options{MaxLive: lim, LiveOut: LiveOutPseudos(af2)})
+	limited := maxLive(b2, af2)
+
+	if free < 3 {
+		t.Errorf("unlimited schedule should hoist loads (max live %d)", free)
+	}
+	if limited > 2 {
+		t.Errorf("limited schedule exceeds limit: max live %d", limited)
+	}
+}
+
+func TestTemporalPipelineOverlap(t *testing.T) {
+	m := loadDesc(t, eapDesc)
+	f := m.RegSet("f")
+	Ml := m.InstrByLabel("Ml")
+	M2 := m.InstrByLabel("M2")
+	M3 := m.InstrByLabel("M3")
+	FWB := m.InstrByLabel("FWB")
+	// Two full multiplies: Ml;M2;M3;FWB twice. Overlapped EAP scheduling
+	// should finish in 5 cycles instead of 8.
+	af, b := newBlock(
+		asm.New(Ml, asm.Reg(0), asm.Reg(1)),
+		asm.New(M2),
+		asm.New(M3),
+		asm.New(FWB, asm.Reg(2)),
+		asm.New(Ml, asm.Reg(3), asm.Reg(4)),
+		asm.New(M2),
+		asm.New(M3),
+		asm.New(FWB, asm.Reg(5)),
+	)
+	mkPseudos(af, f, 6)
+	cost := Schedule(m, af, b, Options{})
+	if cost > 5 {
+		t.Errorf("EAP overlap failed: cost %d, want <= 5", cost)
+		for _, in := range b.Insts {
+			t.Logf("cycle %d: %s", in.Cycle, in)
+		}
+	}
+	// Rule 1: the second Ml may not issue before the first sequence's M2.
+	var m2c, ml2c = -1, -1
+	seenMl := false
+	for _, in := range b.Insts {
+		switch {
+		case in.Tmpl == M2 && m2c < 0:
+			m2c = in.Cycle
+		case in.Tmpl == Ml && seenMl && ml2c < 0:
+			ml2c = in.Cycle
+		case in.Tmpl == Ml:
+			seenMl = true
+		}
+	}
+	if ml2c < m2c {
+		t.Errorf("Rule 1 violated: second Ml at %d before first M2 at %d", ml2c, m2c)
+	}
+}
+
+func TestFigure6DeadlockProtection(t *testing.T) {
+	m := loadDesc(t, eapDesc)
+	f := m.RegSet("f")
+	Ml := m.InstrByLabel("Ml")
+	FWB1 := m.InstrByLabel("FWB1")
+	MTRANS := m.InstrByLabel("MTRANS")
+	// Figure 6: q heads a temporal sequence on clk_m; p affects clk_m
+	// without touching the latches; r is the sequence's temporal
+	// destination and also output-depends on p (alternate entry). Without
+	// the protection edge p->q, scheduling q first deadlocks under Rule 1.
+	af, b := newBlock(
+		asm.New(Ml, asm.Reg(0), asm.Reg(1)),     // q
+		asm.New(MTRANS, asm.Reg(2), asm.Reg(3)), // p: affects clk_m, defs t2
+		asm.New(FWB1, asm.Reg(2)),               // r: temporal dest, redefs t2
+	)
+	mkPseudos(af, f, 4)
+
+	g := cdag.Build(m, b, cdag.Options{})
+	// The protection pass must add an extra edge p -> q.
+	found := false
+	for _, e := range g.Nodes[1].Succs {
+		if e.To == 0 && e.Type == cdag.Extra {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("protection edge p->q missing; succs of p: %+v", g.Nodes[1].Succs)
+	}
+	// And the schedule must complete with p before q.
+	res := Run(m, af, b, g, Options{})
+	if len(res.Order) != 3 {
+		t.Fatalf("schedule incomplete: %v", res.Order)
+	}
+	pos := map[int]int{}
+	for k, i := range res.Order {
+		pos[i] = k
+	}
+	if pos[1] > pos[0] {
+		t.Errorf("p must be scheduled before q: order %v", res.Order)
+	}
+}
+
+func TestScheduleCurrentCycleOnly(t *testing.T) {
+	m := loadDesc(t, pipeDesc)
+	r := m.RegSet("r")
+	ld := m.InstrByLabel("ld")
+	// Two independent loads: both use MEM on their second cycle. Full
+	// checking separates them; current-cycle-only packs issue cycles
+	// back-to-back and accepts the later structural conflict.
+	af, b := newBlock(
+		asm.New(ld, asm.Reg(0), asm.Phys(r.Phys(6)), asm.Imm(0)),
+		asm.New(ld, asm.Reg(1), asm.Phys(r.Phys(6)), asm.Imm(8)),
+	)
+	mkPseudos(af, r, 2)
+	full := Estimate(m, af, b, Options{})
+	cur := Estimate(m, af, b, Options{CurrentCycleOnly: true})
+	if cur > full {
+		t.Errorf("current-cycle-only should be no more conservative: %d vs %d", cur, full)
+	}
+}

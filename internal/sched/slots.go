@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"marion/internal/asm"
+	"marion/internal/mach"
+)
+
+// FillDelaySlots is the separate post-scheduling pass the paper points
+// to (§4.4, after Gross & Hennessy): Marion itself always fills branch
+// delay slots with nops; this optional pass replaces those nops with
+// safe instructions hoisted from above the transfer in the same block.
+// It returns the number of slots filled.
+//
+// An instruction X may move from before transfer B into B's
+// always-executed delay slot when:
+//
+//   - X transfers nothing itself, touches no temporal latches, and has
+//     no implicit register effects;
+//   - no instruction between X and the slot reads or writes X's
+//     definitions, or writes X's uses (moving X past them is then a
+//     no-op for intra-block dataflow);
+//   - memory ordering is preserved (a load may not move past a store or
+//     call; a store past any memory reference);
+//   - B neither reads nor writes any register X defines (B's operands
+//     are consumed at issue, before the slot executes — but keeping the
+//     condition conservative costs little);
+//   - X is not itself in some other transfer's delay slot.
+func FillDelaySlots(m *mach.Machine, af *asm.Func) int {
+	filled := 0
+	for _, b := range af.Blocks {
+		filled += fillBlock(m, b)
+	}
+	return filled
+}
+
+// regsOf collects an instruction's register identities (physical with
+// aliases expanded, or pseudo) for the given operand indices.
+func regsOf(m *mach.Machine, in *asm.Inst, idxs []int) map[int64]bool {
+	out := map[int64]bool{}
+	for _, oi := range idxs {
+		a := in.Args[oi]
+		switch a.Kind {
+		case asm.OpPhys:
+			for _, al := range m.Aliases(a.Phys) {
+				out[int64(al)] = true
+			}
+		case asm.OpPseudo, asm.OpPseudoHalf:
+			out[-1-int64(a.Pseudo)] = true
+		}
+	}
+	return out
+}
+
+func overlaps(a, b map[int64]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+func fillBlock(m *mach.Machine, b *asm.Block) int {
+	filled := 0
+	// Find transfers followed by nop slots.
+	for bi := 0; bi < len(b.Insts); bi++ {
+		tr := b.Insts[bi]
+		if !tr.Tmpl.Transfers() {
+			continue
+		}
+		slots := tr.Tmpl.Slots
+		if slots < 0 {
+			slots = -slots
+		}
+		trUses := regsOf(m, tr, tr.Tmpl.UseOps)
+		for _, p := range tr.ImpUses {
+			for _, al := range m.Aliases(p) {
+				trUses[int64(al)] = true
+			}
+		}
+
+		for s := 1; s <= slots && bi+s < len(b.Insts); s++ {
+			slot := b.Insts[bi+s]
+			if slot.Tmpl != m.Nop {
+				continue // already useful (or filled)
+			}
+			// Search backward for a movable instruction.
+			for ci := bi - 1; ci >= 0; ci-- {
+				x := b.Insts[ci]
+				t := x.Tmpl
+				if t.Transfers() || t == m.Nop ||
+					len(x.ImpDefs) > 0 || len(x.ImpUses) > 0 ||
+					len(t.ReadsTRegs) > 0 || len(t.WritesTRegs) > 0 {
+					// Stop at other transfers entirely: everything above
+					// them belongs to their region (and may sit in their
+					// delay slots).
+					if t.Transfers() {
+						ci = -1
+					}
+					continue
+				}
+				xDefs := regsOf(m, x, t.DefOps)
+				xUses := regsOf(m, x, t.UseOps)
+				if overlaps(xDefs, trUses) {
+					continue
+				}
+				ok := true
+				for mi := ci + 1; mi <= bi+s; mi++ {
+					mid := b.Insts[mi]
+					if mid == slot {
+						continue
+					}
+					mDefs := regsOf(m, mid, mid.Tmpl.DefOps)
+					mUses := regsOf(m, mid, mid.Tmpl.UseOps)
+					for _, p := range mid.ImpDefs {
+						for _, al := range m.Aliases(p) {
+							mDefs[int64(al)] = true
+						}
+					}
+					for _, p := range mid.ImpUses {
+						for _, al := range m.Aliases(p) {
+							mUses[int64(al)] = true
+						}
+					}
+					if overlaps(mDefs, xDefs) || overlaps(mUses, xDefs) || overlaps(mDefs, xUses) {
+						ok = false
+						break
+					}
+					// Memory ordering.
+					if t.ReadsMem && (mid.Tmpl.WritesMem || mid.Tmpl.IsCall) {
+						ok = false
+						break
+					}
+					if t.WritesMem && (mid.Tmpl.ReadsMem || mid.Tmpl.WritesMem || mid.Tmpl.IsCall) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				// Move x into the slot: remove x from its old position
+				// (everything after shifts down one) and let it replace
+				// the nop, which disappears.
+				copy(b.Insts[ci:], b.Insts[ci+1:])
+				b.Insts = b.Insts[:len(b.Insts)-1]
+				x.Cycle = slot.Cycle
+				b.Insts[bi+s-1] = x
+				bi-- // the transfer shifted down by one
+				filled++
+				break
+			}
+		}
+	}
+	// Recompute the block cost from the final cycles.
+	maxCycle := 0
+	for _, in := range b.Insts {
+		if in.Cycle > maxCycle {
+			maxCycle = in.Cycle
+		}
+	}
+	if len(b.Insts) > 0 {
+		b.SchedCost = maxCycle + 1
+	}
+	return filled
+}

@@ -1,0 +1,526 @@
+package sel
+
+import (
+	"fmt"
+
+	"marion/internal/asm"
+	"marion/internal/ir"
+	"marion/internal/mach"
+)
+
+// selectStore matches store templates against a Store statement.
+func (s *selector) selectStore(n *ir.Node) error {
+	for _, tmpl := range s.m.Instrs {
+		if tmpl.Sem.Kind != mach.SemAssign || tmpl.Sem.Kids[0].Kind != mach.SemMem {
+			continue
+		}
+		if !typeOK(tmpl.TypeConstraint, n.Type) {
+			continue
+		}
+		rv := tmpl.Sem.Kids[1]
+		if rv.Kind != mach.SemOperand {
+			continue
+		}
+		valSpec := tmpl.Operands[rv.OpIdx]
+		if tmpl.TypeConstraint == ir.Void {
+			// Untyped stores write exactly one register width.
+			if valSpec.Kind != mach.OperandReg || n.Type.Size() != valSpec.Set.Size || n.Type.IsFloat() {
+				continue
+			}
+		}
+		binds := make([]binding, len(tmpl.Operands))
+		if !s.matchSem(tmpl.Sem.Kids[0].Kids[0], n.Kids[0], tmpl, binds) {
+			continue
+		}
+		if !s.matchSem(rv, n.Kids[1], tmpl, binds) {
+			continue
+		}
+		if !s.bindsSelectable(tmpl, binds) {
+			continue
+		}
+		_, err := s.emitMatched(tmpl, binds, -1, nil)
+		return err
+	}
+	return fmt.Errorf("no store pattern matches %s (type %s) on %s", n, n.Type, s.m.Name)
+}
+
+// selectBranch matches conditional-branch templates.
+func (s *selector) selectBranch(n *ir.Node) error {
+	for _, tmpl := range s.m.Instrs {
+		if !tmpl.IsBranch {
+			continue
+		}
+		binds := make([]binding, len(tmpl.Operands))
+		binds[tmpl.BranchOp] = binding{op: asm.Operand{Kind: asm.OpBlock, Block: n.Target}, hasOp: true}
+		if !s.matchSem(tmpl.Sem.Kids[0], n.Kids[0], tmpl, binds) {
+			continue
+		}
+		if !s.bindsSelectable(tmpl, binds) {
+			continue
+		}
+		_, err := s.emitMatched(tmpl, binds, -1, nil)
+		return err
+	}
+	return fmt.Errorf("no branch pattern matches %s on %s", n, s.m.Name)
+}
+
+// selectJump emits an unconditional jump.
+func (s *selector) selectJump(n *ir.Node) error {
+	for _, tmpl := range s.m.Instrs {
+		if !tmpl.IsJump {
+			continue
+		}
+		args := make([]asm.Operand, len(tmpl.Operands))
+		args[tmpl.BranchOp] = asm.Operand{Kind: asm.OpBlock, Block: n.Target}
+		s.emit(asm.New(tmpl, args...))
+		return nil
+	}
+	return fmt.Errorf("machine %s has no jump instruction", s.m.Name)
+}
+
+// selectRet moves the return value to the result register and emits the
+// return instruction.
+func (s *selector) selectRet(n *ir.Node) error {
+	var imp []mach.PhysID
+	if len(n.Kids) == 1 {
+		v, err := s.value(n.Kids[0])
+		if err != nil {
+			return err
+		}
+		res, ok := s.m.Cwvm.ResultFor(n.Kids[0].Type)
+		if !ok {
+			return fmt.Errorf("no %%result register for type %s", n.Kids[0].Type)
+		}
+		if err := s.move(asm.Phys(res.Phys()), v); err != nil {
+			return err
+		}
+		imp = append(imp, res.Phys())
+	}
+	tmpl := s.retTmpl()
+	if tmpl == nil {
+		return fmt.Errorf("machine %s has no return instruction", s.m.Name)
+	}
+	in := asm.New(tmpl, make([]asm.Operand, len(tmpl.Operands))...)
+	in.ImpUses = append(imp, s.m.Cwvm.RetAddr.Phys())
+	s.emit(in)
+	return nil
+}
+
+func (s *selector) retTmpl() *mach.Instr {
+	for _, tmpl := range s.m.Instrs {
+		if tmpl.IsRet {
+			return tmpl
+		}
+	}
+	return nil
+}
+
+// selectCall lowers a call: arguments into the CWVM argument registers
+// (or the outgoing stack area), the call instruction with its implicit
+// effects, and a move of the result into a fresh pseudo.
+func (s *selector) selectCall(n *ir.Node) (asm.Operand, error) {
+	s.af.UsesCalls = true
+
+	// Evaluate all arguments first, so an argument containing a nested
+	// call cannot clobber already-placed argument registers.
+	vals := make([]asm.Operand, len(n.Kids))
+	for i, k := range n.Kids {
+		v, err := s.value(k)
+		if err != nil {
+			return asm.Operand{}, err
+		}
+		vals[i] = v
+	}
+
+	types := make([]ir.Type, len(n.Kids))
+	for i, k := range n.Kids {
+		types[i] = k.Type
+	}
+	locs := s.m.Cwvm.AssignArgs(types)
+	var argRegs []mach.PhysID
+	outgoing := s.m.Cwvm.StackArgOffset
+	for i, k := range n.Kids {
+		loc := locs[i]
+		if loc.InReg {
+			if err := s.move(asm.Phys(loc.Ref.Phys()), vals[i]); err != nil {
+				return asm.Operand{}, err
+			}
+			argRegs = append(argRegs, loc.Ref.Phys())
+			continue
+		}
+		// Stack argument: store into the outgoing area at sp+off.
+		st, err := BuildStore(s.m, s.af, vals[i], s.m.Cwvm.SP.Phys(), int64(loc.StackOff), k.Type)
+		if err != nil {
+			return asm.Operand{}, err
+		}
+		s.emit(st)
+		if end := loc.StackOff + k.Type.Size(); end > outgoing {
+			outgoing = end
+		}
+	}
+	if outgoing > s.af.Outgoing {
+		s.af.Outgoing = outgoing
+	}
+
+	// The call instruction itself.
+	var callTmpl *mach.Instr
+	for _, tmpl := range s.m.Instrs {
+		if tmpl.IsCall && tmpl.Sem.Kind == mach.SemCall {
+			callTmpl = tmpl
+			break
+		}
+	}
+	if callTmpl == nil {
+		return asm.Operand{}, fmt.Errorf("machine %s has no call instruction", s.m.Name)
+	}
+	args := make([]asm.Operand, len(callTmpl.Operands))
+	args[callTmpl.BranchOp] = asm.Operand{Kind: asm.OpSym, Sym: n.Sym}
+	in := asm.New(callTmpl, args...)
+	in.ImpUses = argRegs
+	in.ImpDefs = append(s.m.CallerSave(), s.m.Cwvm.RetAddr.Phys())
+	for _, r := range s.m.Cwvm.Results {
+		in.ImpDefs = append(in.ImpDefs, r.Ref.Phys())
+	}
+	s.emit(in)
+
+	// Result.
+	if n.Type != ir.Void {
+		res, ok := s.m.Cwvm.ResultFor(n.Type)
+		if !ok {
+			return asm.Operand{}, fmt.Errorf("no %%result register for type %s", n.Type)
+		}
+		set := s.m.Cwvm.GeneralSet(n.Type)
+		out := asm.Reg(s.af.NewPseudo(set, ir.NoReg))
+		if err := s.move(out, asm.Phys(res.Phys())); err != nil {
+			return asm.Operand{}, err
+		}
+		s.selected[n] = out
+		return out, nil
+	}
+	return asm.Operand{}, nil
+}
+
+// move emits a register-to-register move (a no-op when dst == src).
+func (s *selector) move(dst, src asm.Operand) error {
+	if dst == src {
+		return nil
+	}
+	ins, err := BuildMove(s.m, s.af, dst, src)
+	if err != nil {
+		return err
+	}
+	for _, in := range ins {
+		s.emit(in)
+	}
+	return nil
+}
+
+// Emitter is the interface *func escape functions use to generate code.
+type Emitter struct{ s *selector }
+
+// Machine returns the target machine.
+func (e *Emitter) Machine() *mach.Machine { return e.s.m }
+
+// Emit appends an instruction to the current block.
+func (e *Emitter) Emit(tmpl *mach.Instr, args ...asm.Operand) { e.s.emit(asm.New(tmpl, args...)) }
+
+// NewPseudo allocates a scratch pseudo-register in the given set.
+func (e *Emitter) NewPseudo(set *mach.RegSet) asm.Operand {
+	return asm.Reg(e.s.af.NewPseudo(set, ir.NoReg))
+}
+
+// Move emits a register move.
+func (e *Emitter) Move(dst, src asm.Operand) error { return e.s.move(dst, src) }
+
+// HalfOf returns the low (0) or high (1) overlapping half of a wide
+// register operand.
+func (e *Emitter) HalfOf(op asm.Operand, half int) (asm.Operand, error) {
+	return e.s.halfOf(op, half)
+}
+
+// Escape is a user-written expansion function referenced by a *func
+// directive: the paper's escape mechanism, in Go.
+type Escape func(e *Emitter, tmpl *mach.Instr, args []asm.Operand) error
+
+var escapes = map[string]Escape{}
+
+// RegisterEscape installs an escape function under the name used by
+// *name directives in descriptions.
+func RegisterEscape(name string, fn Escape) { escapes[name] = fn }
+
+// --- Template lookup and instruction building helpers -----------------
+//
+// These give the strategies and the register allocator access to the
+// description-derived instructions they need for prologue/epilogue code,
+// spill code and register moves, without duplicating target knowledge.
+
+// FindMoveTmpl returns a move template for the given register set.
+func FindMoveTmpl(m *mach.Machine, set *mach.RegSet) *mach.Instr {
+	var fallback *mach.Instr
+	for _, tmpl := range m.Instrs {
+		if tmpl.Sem.Kind != mach.SemAssign {
+			continue
+		}
+		lv, rv := tmpl.Sem.Kids[0], tmpl.Sem.Kids[1]
+		if lv.Kind != mach.SemOperand || rv.Kind != mach.SemOperand {
+			continue
+		}
+		d, s := tmpl.Operands[lv.OpIdx], tmpl.Operands[rv.OpIdx]
+		if d.Kind != mach.OperandReg || d.Set != set {
+			continue
+		}
+		if s.Kind != mach.OperandReg || s.Set != set {
+			continue
+		}
+		if tmpl.Move {
+			return tmpl
+		}
+		if fallback == nil {
+			fallback = tmpl
+		}
+	}
+	return fallback
+}
+
+// BuildMove builds the instruction(s) moving src into dst (same set).
+func BuildMove(m *mach.Machine, af *asm.Func, dst, src asm.Operand) ([]*asm.Inst, error) {
+	set := operandSetOf(m, af, dst)
+	if set == nil {
+		set = operandSetOf(m, af, src)
+	}
+	if set == nil {
+		return nil, fmt.Errorf("move %s <- %s: cannot determine register set", dst, src)
+	}
+	tmpl := FindMoveTmpl(m, set)
+	if tmpl == nil {
+		return nil, fmt.Errorf("machine %s has no move for register set %s", m.Name, set.Name)
+	}
+	lv, rv := tmpl.Sem.Kids[0], tmpl.Sem.Kids[1]
+	args := make([]asm.Operand, len(tmpl.Operands))
+	for i, spec := range tmpl.Operands {
+		switch {
+		case i == lv.OpIdx:
+			args[i] = dst
+		case i == rv.OpIdx:
+			args[i] = src
+		case spec.Kind == mach.OperandFixedReg:
+			args[i] = asm.Phys(spec.Phys())
+		default:
+			args[i] = asm.Imm(0)
+		}
+	}
+	if len(tmpl.Seq) > 0 {
+		return buildSeq(m, af, tmpl, args)
+	}
+	return []*asm.Inst{asm.New(tmpl, args...)}, nil
+}
+
+func buildSeq(m *mach.Machine, af *asm.Func, tmpl *mach.Instr, args []asm.Operand) ([]*asm.Inst, error) {
+	var out []*asm.Inst
+	seqID := af.NewSeqID()
+	for _, item := range tmpl.Seq {
+		sub := make([]asm.Operand, len(item.Args))
+		for i, a := range item.Args {
+			switch a.Kind {
+			case mach.SeqOperand:
+				sub[i] = args[a.OpIdx]
+			case mach.SeqConst:
+				sub[i] = asm.Imm(a.IVal)
+			case mach.SeqLoHalf, mach.SeqHiHalf:
+				half := 0
+				if a.Kind == mach.SeqHiHalf {
+					half = 1
+				}
+				op := args[a.OpIdx]
+				switch op.Kind {
+				case asm.OpPseudo:
+					sub[i] = asm.Operand{Kind: asm.OpPseudoHalf, Pseudo: op.Pseudo, Half: half}
+				case asm.OpPhys:
+					al := m.Aliases(op.Phys)
+					if len(al) < 2+half {
+						return nil, fmt.Errorf("register %s has no halves", m.PhysName(op.Phys))
+					}
+					sub[i] = asm.Phys(al[1+half])
+				default:
+					return nil, fmt.Errorf("lo/hi of non-register %s", op)
+				}
+			}
+		}
+		in := asm.New(item.Instr, sub...)
+		in.SeqID = seqID
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+func operandSetOf(m *mach.Machine, af *asm.Func, op asm.Operand) *mach.RegSet {
+	switch op.Kind {
+	case asm.OpPseudo:
+		return af.Pseudos[op.Pseudo].Set
+	case asm.OpPhys:
+		return m.PhysRef(op.Phys).Set
+	}
+	return nil
+}
+
+// FindLoadTmpl returns a base+immediate load for values of type t into
+// registers of the given set.
+func FindLoadTmpl(m *mach.Machine, set *mach.RegSet, t ir.Type) *mach.Instr {
+	for _, tmpl := range m.Instrs {
+		if tmpl.Sem.Kind != mach.SemAssign {
+			continue
+		}
+		lv, rv := tmpl.Sem.Kids[0], tmpl.Sem.Kids[1]
+		if lv.Kind != mach.SemOperand || rv.Kind != mach.SemMem {
+			continue
+		}
+		d := tmpl.Operands[lv.OpIdx]
+		if d.Kind != mach.OperandReg || d.Set != set {
+			continue
+		}
+		if !loadStoreWidthOK(tmpl, d.Set, t) {
+			continue
+		}
+		if ok, _, _ := baseImmAddr(tmpl, rv.Kids[0]); ok {
+			return tmpl
+		}
+	}
+	return nil
+}
+
+// FindStoreTmpl returns a base+immediate store of values of type t from
+// registers of the given set.
+func FindStoreTmpl(m *mach.Machine, set *mach.RegSet, t ir.Type) *mach.Instr {
+	for _, tmpl := range m.Instrs {
+		if tmpl.Sem.Kind != mach.SemAssign {
+			continue
+		}
+		lv, rv := tmpl.Sem.Kids[0], tmpl.Sem.Kids[1]
+		if lv.Kind != mach.SemMem || rv.Kind != mach.SemOperand {
+			continue
+		}
+		v := tmpl.Operands[rv.OpIdx]
+		if v.Kind != mach.OperandReg || v.Set != set {
+			continue
+		}
+		if !loadStoreWidthOK(tmpl, v.Set, t) {
+			continue
+		}
+		if ok, _, _ := baseImmAddr(tmpl, lv.Kids[0]); ok {
+			return tmpl
+		}
+	}
+	return nil
+}
+
+func loadStoreWidthOK(tmpl *mach.Instr, set *mach.RegSet, t ir.Type) bool {
+	if tmpl.TypeConstraint != ir.Void {
+		return typeOK(tmpl.TypeConstraint, t)
+	}
+	return t.Size() == set.Size && !t.IsFloat()
+}
+
+// baseImmAddr recognizes the address pattern $base + $imm and returns the
+// operand indices.
+func baseImmAddr(tmpl *mach.Instr, addr *mach.Sem) (ok bool, baseIdx, immIdx int) {
+	if addr.Kind != mach.SemOp || addr.Op != ir.Add || len(addr.Kids) != 2 {
+		return false, 0, 0
+	}
+	a, b := addr.Kids[0], addr.Kids[1]
+	if a.Kind != mach.SemOperand || b.Kind != mach.SemOperand {
+		return false, 0, 0
+	}
+	sa, sb := tmpl.Operands[a.OpIdx], tmpl.Operands[b.OpIdx]
+	if sa.Kind == mach.OperandReg && sb.Kind == mach.OperandImm {
+		return true, a.OpIdx, b.OpIdx
+	}
+	if sa.Kind == mach.OperandImm && sb.Kind == mach.OperandReg {
+		return true, b.OpIdx, a.OpIdx
+	}
+	return false, 0, 0
+}
+
+// BuildLoad builds "dst = m[base + off]".
+func BuildLoad(m *mach.Machine, af *asm.Func, dst asm.Operand, base mach.PhysID, off int64, t ir.Type) (*asm.Inst, error) {
+	set := operandSetOf(m, af, dst)
+	tmpl := FindLoadTmpl(m, set, t)
+	if tmpl == nil {
+		return nil, fmt.Errorf("machine %s has no load for %s/%s", m.Name, set.Name, t)
+	}
+	lv, rv := tmpl.Sem.Kids[0], tmpl.Sem.Kids[1]
+	_, bIdx, iIdx := baseImmAddr(tmpl, rv.Kids[0])
+	if d := tmpl.Operands[iIdx].Def; d != nil && !d.Fits(off) {
+		return nil, fmt.Errorf("frame offset %d exceeds immediate range of %s", off, tmpl.Mnemonic)
+	}
+	args := make([]asm.Operand, len(tmpl.Operands))
+	args[lv.OpIdx] = dst
+	args[bIdx] = asm.Phys(base)
+	args[iIdx] = asm.Imm(off)
+	return asm.New(tmpl, args...), nil
+}
+
+// BuildStore builds "m[base + off] = src".
+func BuildStore(m *mach.Machine, af *asm.Func, src asm.Operand, base mach.PhysID, off int64, t ir.Type) (*asm.Inst, error) {
+	set := operandSetOf(m, af, src)
+	tmpl := FindStoreTmpl(m, set, t)
+	if tmpl == nil {
+		return nil, fmt.Errorf("machine %s has no store for %s/%s", m.Name, set.Name, t)
+	}
+	lv, rv := tmpl.Sem.Kids[0], tmpl.Sem.Kids[1]
+	_, bIdx, iIdx := baseImmAddr(tmpl, lv.Kids[0])
+	if d := tmpl.Operands[iIdx].Def; d != nil && !d.Fits(off) {
+		return nil, fmt.Errorf("frame offset %d exceeds immediate range of %s", off, tmpl.Mnemonic)
+	}
+	args := make([]asm.Operand, len(tmpl.Operands))
+	args[rv.OpIdx] = src
+	args[bIdx] = asm.Phys(base)
+	args[iIdx] = asm.Imm(off)
+	return asm.New(tmpl, args...), nil
+}
+
+// FindAddImmTmpl returns "reg = reg + imm" in the int general set.
+func FindAddImmTmpl(m *mach.Machine) *mach.Instr {
+	set := m.Cwvm.GeneralSet(ir.I32)
+	for _, tmpl := range m.Instrs {
+		if tmpl.Sem.Kind != mach.SemAssign {
+			continue
+		}
+		lv, rv := tmpl.Sem.Kids[0], tmpl.Sem.Kids[1]
+		if lv.Kind != mach.SemOperand {
+			continue
+		}
+		d := tmpl.Operands[lv.OpIdx]
+		if d.Kind != mach.OperandReg || d.Set != set {
+			continue
+		}
+		if rv.Kind != mach.SemOp || rv.Op != ir.Add || len(rv.Kids) != 2 {
+			continue
+		}
+		a, b := rv.Kids[0], rv.Kids[1]
+		if a.Kind != mach.SemOperand || b.Kind != mach.SemOperand {
+			continue
+		}
+		if tmpl.Operands[a.OpIdx].Kind == mach.OperandReg && tmpl.Operands[b.OpIdx].Kind == mach.OperandImm {
+			return tmpl
+		}
+	}
+	return nil
+}
+
+// BuildAddImm builds "dst = src + imm" on physical registers.
+func BuildAddImm(m *mach.Machine, dst, src mach.PhysID, imm int64) (*asm.Inst, error) {
+	tmpl := FindAddImmTmpl(m)
+	if tmpl == nil {
+		return nil, fmt.Errorf("machine %s has no add-immediate", m.Name)
+	}
+	lv, rv := tmpl.Sem.Kids[0], tmpl.Sem.Kids[1]
+	a, b := rv.Kids[0], rv.Kids[1]
+	if d := tmpl.Operands[b.OpIdx].Def; d != nil && !d.Fits(imm) {
+		return nil, fmt.Errorf("immediate %d exceeds range of %s", imm, tmpl.Mnemonic)
+	}
+	args := make([]asm.Operand, len(tmpl.Operands))
+	args[lv.OpIdx] = asm.Phys(dst)
+	args[a.OpIdx] = asm.Phys(src)
+	args[b.OpIdx] = asm.Imm(imm)
+	return asm.New(tmpl, args...), nil
+}

@@ -1,0 +1,699 @@
+// Package sel implements instruction selection: a recursive-descent
+// brute-force tree pattern matcher that tries the description's
+// instruction templates in order, selecting the first that matches
+// (paper §2.1). It creates pseudo-registers for expression temporaries
+// and expands %seq sequences and *func escapes.
+package sel
+
+import (
+	"fmt"
+
+	"marion/internal/asm"
+	"marion/internal/ir"
+	"marion/internal/mach"
+)
+
+// Select lowers an IL function to target instructions with
+// pseudo-registers. The IL must already be glue-transformed.
+func Select(m *mach.Machine, fn *ir.Func) (*asm.Func, error) {
+	s := &selector{
+		m:        m,
+		irFn:     fn,
+		af:       &asm.Func{Name: fn.Name, IR: fn},
+		selected: map[*ir.Node]asm.Operand{},
+		irPseudo: map[ir.RegID]asm.PseudoID{},
+	}
+	// Bind parameters to pseudo-registers up front so the entry moves
+	// (inserted by the strategy) target the right pseudos.
+	for _, r := range fn.ParamRegs {
+		if r != ir.NoReg {
+			if _, err := s.pseudoFor(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, b := range fn.Blocks {
+		ab := &asm.Block{IR: b}
+		s.af.Blocks = append(s.af.Blocks, ab)
+		s.cur = ab
+		s.selected = map[*ir.Node]asm.Operand{}
+		for _, stmt := range b.Stmts {
+			if err := s.stmt(stmt); err != nil {
+				return nil, fmt.Errorf("%s: %w", fn.Name, err)
+			}
+		}
+	}
+	return s.af, nil
+}
+
+type selector struct {
+	m        *mach.Machine
+	irFn     *ir.Func
+	af       *asm.Func
+	cur      *asm.Block
+	selected map[*ir.Node]asm.Operand // per-block: values already in registers
+	irPseudo map[ir.RegID]asm.PseudoID
+}
+
+func (s *selector) emit(in *asm.Inst) { s.cur.Insts = append(s.cur.Insts, in) }
+
+// weight is the spill-cost increment for a reference at the current
+// block's loop depth.
+func (s *selector) weight() float64 {
+	d := s.cur.IR.LoopDepth
+	w := 1.0
+	for i := 0; i < d && i < 6; i++ {
+		w *= 10
+	}
+	return w
+}
+
+func (s *selector) addCost(op asm.Operand) {
+	if op.Kind == asm.OpPseudo {
+		s.af.Pseudos[op.Pseudo].SpillCost += s.weight()
+	}
+}
+
+// pseudoFor returns the asm pseudo for an IL pseudo-register.
+func (s *selector) pseudoFor(r ir.RegID) (asm.PseudoID, error) {
+	if p, ok := s.irPseudo[r]; ok {
+		return p, nil
+	}
+	t := s.irFn.RegType(r)
+	set := s.m.Cwvm.GeneralSet(t)
+	if set == nil {
+		return asm.NoPseudo, fmt.Errorf("no general register set holds type %s", t)
+	}
+	p := s.af.NewPseudo(set, r)
+	s.irPseudo[r] = p
+	return p, nil
+}
+
+// holdsLoose reports whether a register set can hold a value of IL type
+// t, treating narrow integers and pointers as int-width.
+func holdsLoose(rs *mach.RegSet, t ir.Type) bool {
+	if rs.Holds(t) {
+		return true
+	}
+	switch t {
+	case ir.I8, ir.I16, ir.U32, ir.Ptr:
+		return rs.Holds(ir.I32) || rs.Holds(ir.Ptr)
+	case ir.I32:
+		return rs.Holds(ir.Ptr)
+	}
+	return false
+}
+
+// typeOK checks an instruction's type constraint against a node type.
+func typeOK(tc, nt ir.Type) bool {
+	if tc == ir.Void || tc == nt {
+		return true
+	}
+	// int-family leniency: (int) matches unsigned and pointer values.
+	intFam := func(t ir.Type) bool { return t == ir.I32 || t == ir.U32 || t == ir.Ptr }
+	return intFam(tc) && intFam(nt)
+}
+
+// operandSet returns the register set an operand value lives in, or nil.
+func (s *selector) operandSet(op asm.Operand) *mach.RegSet {
+	switch op.Kind {
+	case asm.OpPseudo:
+		return s.af.Pseudos[op.Pseudo].Set
+	case asm.OpPhys:
+		for _, rs := range s.m.RegSets {
+			if op.Phys >= rs.PhysBase && op.Phys < rs.PhysBase+mach.PhysID(rs.Count()) {
+				return rs
+			}
+		}
+	}
+	return nil
+}
+
+// stmt selects one statement root.
+func (s *selector) stmt(n *ir.Node) error {
+	switch n.Op {
+	case ir.Asgn:
+		p, err := s.pseudoFor(n.Reg)
+		if err != nil {
+			return err
+		}
+		return s.selectInto(n.Kids[0], asm.Reg(p))
+
+	case ir.Store:
+		return s.selectStore(n)
+
+	case ir.Branch:
+		return s.selectBranch(n)
+
+	case ir.Jump:
+		return s.selectJump(n)
+
+	case ir.Call:
+		_, err := s.selectCall(n)
+		return err
+
+	case ir.Ret:
+		return s.selectRet(n)
+	}
+	// A bare value as a statement (result unused): select for effect.
+	_, err := s.value(n)
+	return err
+}
+
+// selectInto materializes the value of n in the destination register
+// operand dst.
+func (s *selector) selectInto(n *ir.Node, dst asm.Operand) error {
+	// Value already available (CSE or register leaf): move.
+	if op, ok := s.selected[n]; ok {
+		return s.move(dst, op)
+	}
+	switch n.Op {
+	case ir.Reg:
+		p, err := s.pseudoFor(n.Reg)
+		if err != nil {
+			return err
+		}
+		return s.move(dst, asm.Reg(p))
+	case ir.Frame:
+		return s.move(dst, asm.Phys(s.m.Cwvm.FP.Phys()))
+	case ir.Stack:
+		return s.move(dst, asm.Phys(s.m.Cwvm.SP.Phys()))
+	}
+	op, err := s.match(n, &dst)
+	if err != nil {
+		return err
+	}
+	if op != dst {
+		return s.move(dst, op)
+	}
+	// The destination may be a user variable that is reassigned later, so
+	// it is NOT remembered for CSE; only immutable selector temporaries
+	// (from value) are.
+	return nil
+}
+
+// value selects n into some register and returns the operand.
+func (s *selector) value(n *ir.Node) (asm.Operand, error) {
+	if op, ok := s.selected[n]; ok {
+		s.addCost(op)
+		return op, nil
+	}
+	switch n.Op {
+	case ir.Reg:
+		p, err := s.pseudoFor(n.Reg)
+		if err != nil {
+			return asm.Operand{}, err
+		}
+		op := asm.Reg(p)
+		s.addCost(op)
+		return op, nil
+	case ir.Frame:
+		return asm.Phys(s.m.Cwvm.FP.Phys()), nil
+	case ir.Stack:
+		return asm.Phys(s.m.Cwvm.SP.Phys()), nil
+	case ir.Call:
+		// Calls are selected as statements; a parent asking for the value
+		// must find it in the selected map (populated by selectCall).
+		return asm.Operand{}, fmt.Errorf("internal: call result of %s referenced before selection", n.Sym.Name)
+	}
+	op, err := s.match(n, nil)
+	if err != nil {
+		return asm.Operand{}, err
+	}
+	s.remember(n, op)
+	return op, nil
+}
+
+// remember caches the operand of a selected node so later parents reuse
+// it instead of re-evaluating (local CSE). Immutable leaves (addresses,
+// constants) are always cached: sharing may be hidden behind a shared
+// parent, and re-reading them is always safe.
+func (s *selector) remember(n *ir.Node, op asm.Operand) {
+	if n.Parents > 1 || n.Op == ir.Call || n.Op == ir.Addr || n.Op == ir.Const {
+		s.selected[n] = op
+	}
+}
+
+// hardPhys returns a hard-wired register of the given set holding value
+// v, if the machine has one.
+func (s *selector) hardPhys(set *mach.RegSet, v int64) (mach.PhysID, bool) {
+	for _, h := range s.m.Cwvm.Hard {
+		if h.Value == v && h.Ref.Set == set {
+			return h.Ref.Phys(), true
+		}
+	}
+	return mach.NoPhys, false
+}
+
+// bindings collects the subtrees bound to a template's operands during
+// matching.
+type binding struct {
+	// node is the bound subtree for register operands (selected later).
+	node *ir.Node
+	// op is a directly usable operand (immediates, labels, hard regs).
+	op    asm.Operand
+	hasOp bool
+}
+
+// match tries every instruction template in description order against
+// value node n; dst, when non-nil, requests the result in that operand.
+func (s *selector) match(n *ir.Node, dst *asm.Operand) (asm.Operand, error) {
+	for _, tmpl := range s.m.Instrs {
+		if tmpl.Sem.Kind != mach.SemAssign {
+			continue
+		}
+		lv := tmpl.Sem.Kids[0]
+		if lv.Kind != mach.SemOperand {
+			continue // stores and temporal-register writers are not value patterns
+		}
+		// Identity moves ({$1 = $2;} over registers) would bind the node
+		// to itself and recurse forever; moves are emitted explicitly.
+		if rv := tmpl.Sem.Kids[1]; rv.Kind == mach.SemOperand {
+			if k := tmpl.Operands[rv.OpIdx].Kind; k == mach.OperandReg || k == mach.OperandFixedReg {
+				continue
+			}
+		}
+		if !typeOK(tmpl.TypeConstraint, n.Type) {
+			continue
+		}
+		dstSpec := tmpl.Operands[lv.OpIdx]
+		// The destination set must be able to hold the value.
+		switch dstSpec.Kind {
+		case mach.OperandReg:
+			if !holdsLoose(dstSpec.Set, n.Type) {
+				continue
+			}
+			if dst != nil {
+				if ds := s.operandSet(*dst); ds != nil && ds != dstSpec.Set {
+					continue
+				}
+			}
+		case mach.OperandFixedReg:
+			if dst != nil && (dst.Kind != asm.OpPhys || dst.Phys != dstSpec.Phys()) {
+				// Producing into a fixed register only helps when the
+				// caller wants exactly that register.
+				continue
+			}
+			if dst == nil {
+				continue
+			}
+		default:
+			continue
+		}
+		// Loads must match the access width exactly.
+		if n.Op == ir.Load && tmpl.TypeConstraint == ir.Void {
+			if dstSpec.Kind != mach.OperandReg || n.Type.Size() != dstSpec.Set.Size {
+				continue
+			}
+			if n.Type.IsFloat() {
+				continue // float loads need a typed template
+			}
+		}
+
+		binds := make([]binding, len(tmpl.Operands))
+		if !s.matchSem(tmpl.Sem.Kids[1], n, tmpl, binds) {
+			continue
+		}
+		// Brute force with backtracking (paper §2.1): if a bound subtree
+		// cannot be selected by any pattern, proceed to the next pattern.
+		if !s.bindsSelectable(tmpl, binds) {
+			continue
+		}
+		return s.emitMatched(tmpl, binds, lv.OpIdx, dst)
+	}
+	return asm.Operand{}, fmt.Errorf("no pattern matches %s (type %s) on %s", n, n.Type, s.m.Name)
+}
+
+// bindsSelectable dry-runs selection feasibility for every bound subtree;
+// subtrees bound to fixed-register operands must be producible into that
+// exact register.
+func (s *selector) bindsSelectable(tmpl *mach.Instr, binds []binding) bool {
+	for i, b := range binds {
+		if b.node == nil {
+			continue
+		}
+		spec := tmpl.Operands[i]
+		if spec.Kind == mach.OperandFixedReg {
+			if !s.canSelectInto(b.node, spec.Phys()) {
+				return false
+			}
+			continue
+		}
+		if !s.canSelect(b.node) {
+			return false
+		}
+	}
+	return true
+}
+
+// canSelectInto reports whether n can be produced in the specific
+// physical register phys.
+func (s *selector) canSelectInto(n *ir.Node, phys mach.PhysID) bool {
+	if op, ok := s.selected[n]; ok {
+		return op.Kind == asm.OpPhys && op.Phys == phys
+	}
+	for _, tmpl := range s.m.Instrs {
+		if tmpl.Sem.Kind != mach.SemAssign {
+			continue
+		}
+		lv := tmpl.Sem.Kids[0]
+		if lv.Kind != mach.SemOperand {
+			continue
+		}
+		if rv := tmpl.Sem.Kids[1]; rv.Kind == mach.SemOperand {
+			if k := tmpl.Operands[rv.OpIdx].Kind; k == mach.OperandReg || k == mach.OperandFixedReg {
+				continue
+			}
+		}
+		if !typeOK(tmpl.TypeConstraint, n.Type) {
+			continue
+		}
+		dstSpec := tmpl.Operands[lv.OpIdx]
+		if dstSpec.Kind != mach.OperandFixedReg || dstSpec.Phys() != phys {
+			continue
+		}
+		binds := make([]binding, len(tmpl.Operands))
+		if !s.matchSem(tmpl.Sem.Kids[1], n, tmpl, binds) {
+			continue
+		}
+		if s.bindsSelectable(tmpl, binds) {
+			return true
+		}
+	}
+	return false
+}
+
+// canSelect reports whether some pattern chain can produce the value of n
+// in a register, without emitting anything.
+func (s *selector) canSelect(n *ir.Node) bool {
+	if _, ok := s.selected[n]; ok {
+		return true
+	}
+	switch n.Op {
+	case ir.Reg, ir.Frame, ir.Stack:
+		return true
+	case ir.Call:
+		return false // must already be in the selected map
+	}
+	if n.Op == ir.Const && n.Type.IsInt() {
+		for _, h := range s.m.Cwvm.Hard {
+			if h.Value == n.IVal {
+				return true
+			}
+		}
+	}
+	for _, tmpl := range s.m.Instrs {
+		if tmpl.Sem.Kind != mach.SemAssign {
+			continue
+		}
+		lv := tmpl.Sem.Kids[0]
+		if lv.Kind != mach.SemOperand {
+			continue
+		}
+		if rv := tmpl.Sem.Kids[1]; rv.Kind == mach.SemOperand {
+			if k := tmpl.Operands[rv.OpIdx].Kind; k == mach.OperandReg || k == mach.OperandFixedReg {
+				continue
+			}
+		}
+		if !typeOK(tmpl.TypeConstraint, n.Type) {
+			continue
+		}
+		dstSpec := tmpl.Operands[lv.OpIdx]
+		if dstSpec.Kind != mach.OperandReg || !holdsLoose(dstSpec.Set, n.Type) {
+			continue
+		}
+		if n.Op == ir.Load && tmpl.TypeConstraint == ir.Void {
+			if n.Type.Size() != dstSpec.Set.Size || n.Type.IsFloat() {
+				continue
+			}
+		}
+		binds := make([]binding, len(tmpl.Operands))
+		if !s.matchSem(tmpl.Sem.Kids[1], n, tmpl, binds) {
+			continue
+		}
+		if s.bindsSelectable(tmpl, binds) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchSem structurally matches a semantics pattern against an IL node,
+// filling operand bindings.
+func (s *selector) matchSem(p *mach.Sem, n *ir.Node, tmpl *mach.Instr, binds []binding) bool {
+	switch p.Kind {
+	case mach.SemOperand:
+		spec := tmpl.Operands[p.OpIdx]
+		b := &binds[p.OpIdx]
+		switch spec.Kind {
+		case mach.OperandReg:
+			if !holdsLoose(spec.Set, n.Type) {
+				return false
+			}
+			// A constant can bind to a hard-wired register.
+			if n.Op == ir.Const && n.Type.IsInt() {
+				if ph, ok := s.hardPhys(spec.Set, n.IVal); ok {
+					if b.hasOp && b.op != asm.Phys(ph) {
+						return false
+					}
+					b.op, b.hasOp = asm.Phys(ph), true
+					return true
+				}
+			}
+			if b.node != nil && b.node != n {
+				return false
+			}
+			b.node = n
+			return true
+
+		case mach.OperandFixedReg:
+			// Either a constant matching a hard register, or a subtree
+			// that will be forced into the fixed register.
+			if n.Op == ir.Const && n.Type.IsInt() {
+				if v, ok := s.m.IsHard(spec.Phys()); ok && v == n.IVal {
+					b.op, b.hasOp = asm.Phys(spec.Phys()), true
+					return true
+				}
+				return false
+			}
+			if !holdsLoose(spec.Set, n.Type) {
+				return false
+			}
+			if b.node != nil && b.node != n {
+				return false
+			}
+			b.node = n
+			return true
+
+		case mach.OperandImm:
+			if n.Op == ir.Addr {
+				if spec.Def == nil || !hasFlag(spec.Def.Flags, "addr") {
+					return false
+				}
+				b.op, b.hasOp = asm.Operand{Kind: asm.OpSym, Sym: n.Sym}, true
+				return true
+			}
+			if n.Op != ir.Const || !n.Type.IsInt() {
+				return false
+			}
+			if spec.Def != nil && !spec.Def.Fits(n.IVal) {
+				return false
+			}
+			b.op, b.hasOp = asm.Imm(n.IVal), true
+			return true
+
+		case mach.OperandLabel:
+			return false // labels bind at statement level only
+		}
+		return false
+
+	case mach.SemConst:
+		if p.IsFloat {
+			return n.Op == ir.Const && n.Type.IsFloat() && n.FVal == p.FVal
+		}
+		return n.Op == ir.Const && n.Type.IsInt() && n.IVal == p.IVal
+
+	case mach.SemOp:
+		if n.Op != p.Op || len(n.Kids) != len(p.Kids) {
+			return false
+		}
+		for i := range p.Kids {
+			if !s.matchSem(p.Kids[i], n.Kids[i], tmpl, binds) {
+				return false
+			}
+		}
+		return true
+
+	case mach.SemCvt:
+		if n.Op != ir.Cvt || n.Type != p.CvtTo {
+			return false
+		}
+		return s.matchSem(p.Kids[0], n.Kids[0], tmpl, binds)
+
+	case mach.SemMem:
+		if n.Op != ir.Load {
+			return false
+		}
+		return s.matchSem(p.Kids[0], n.Kids[0], tmpl, binds)
+	}
+	return false
+}
+
+func hasFlag(flags []string, name string) bool {
+	for _, f := range flags {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// emitMatched selects bound subtrees and emits the instruction. dstIdx is
+// the template operand index of the destination.
+func (s *selector) emitMatched(tmpl *mach.Instr, binds []binding, dstIdx int, dst *asm.Operand) (asm.Operand, error) {
+	args := make([]asm.Operand, len(tmpl.Operands))
+	for i, spec := range tmpl.Operands {
+		if i == dstIdx {
+			continue
+		}
+		b := binds[i]
+		switch {
+		case b.hasOp:
+			args[i] = b.op
+		case b.node != nil:
+			switch spec.Kind {
+			case mach.OperandFixedReg:
+				want := asm.Phys(spec.Phys())
+				if err := s.selectInto(b.node, want); err != nil {
+					return asm.Operand{}, err
+				}
+				args[i] = want
+			default:
+				op, err := s.value(b.node)
+				if err != nil {
+					return asm.Operand{}, err
+				}
+				op, err = s.coerce(op, spec.Set)
+				if err != nil {
+					return asm.Operand{}, err
+				}
+				args[i] = op
+			}
+		default:
+			// Operand not referenced by the semantics (e.g. a fixed
+			// register in a move template).
+			switch spec.Kind {
+			case mach.OperandFixedReg:
+				args[i] = asm.Phys(spec.Phys())
+			case mach.OperandImm:
+				args[i] = asm.Imm(0)
+			default:
+				return asm.Operand{}, fmt.Errorf("template %s: unbound operand %d", tmpl.Mnemonic, i+1)
+			}
+		}
+	}
+
+	// Destination (absent for stores and branches).
+	var out asm.Operand
+	if dstIdx >= 0 {
+		dstSpec := tmpl.Operands[dstIdx]
+		switch {
+		case dst != nil:
+			out = *dst
+		case dstSpec.Kind == mach.OperandFixedReg:
+			out = asm.Phys(dstSpec.Phys())
+		default:
+			out = asm.Reg(s.af.NewPseudo(dstSpec.Set, ir.NoReg))
+		}
+		args[dstIdx] = out
+	}
+	for _, a := range args {
+		s.addCost(a)
+	}
+
+	if err := s.emitExpanded(tmpl, args); err != nil {
+		return asm.Operand{}, err
+	}
+	return out, nil
+}
+
+// emitExpanded emits a template instance, expanding %seq items and *func
+// escapes.
+func (s *selector) emitExpanded(tmpl *mach.Instr, args []asm.Operand) error {
+	switch {
+	case tmpl.EscapeFunc != "":
+		esc := escapes[tmpl.EscapeFunc]
+		if esc == nil {
+			return fmt.Errorf("escape function %q is not registered", tmpl.EscapeFunc)
+		}
+		return esc(&Emitter{s: s}, tmpl, args)
+	case len(tmpl.Seq) > 0:
+		return s.expandSeq(tmpl, args)
+	}
+	s.emit(asm.New(tmpl, args...))
+	return nil
+}
+
+// expandSeq emits the items of a %seq template with operand wiring. All
+// items share a fresh sequence identity for temporal-latch pairing.
+func (s *selector) expandSeq(tmpl *mach.Instr, args []asm.Operand) error {
+	seqID := s.af.NewSeqID()
+	for _, item := range tmpl.Seq {
+		sub := make([]asm.Operand, len(item.Args))
+		for i, a := range item.Args {
+			switch a.Kind {
+			case mach.SeqOperand:
+				sub[i] = args[a.OpIdx]
+			case mach.SeqConst:
+				sub[i] = asm.Imm(a.IVal)
+			case mach.SeqLoHalf, mach.SeqHiHalf:
+				half := 0
+				if a.Kind == mach.SeqHiHalf {
+					half = 1
+				}
+				h, err := s.halfOf(args[a.OpIdx], half)
+				if err != nil {
+					return fmt.Errorf("%%seq %s: %w", tmpl.Mnemonic, err)
+				}
+				sub[i] = h
+			}
+		}
+		in := asm.New(item.Instr, sub...)
+		in.SeqID = seqID
+		s.emit(in)
+	}
+	return nil
+}
+
+// halfOf returns the operand for the low/high overlapping half of a wide
+// register operand.
+func (s *selector) halfOf(op asm.Operand, half int) (asm.Operand, error) {
+	switch op.Kind {
+	case asm.OpPseudo:
+		return asm.Operand{Kind: asm.OpPseudoHalf, Pseudo: op.Pseudo, Half: half}, nil
+	case asm.OpPhys:
+		al := s.m.Aliases(op.Phys)
+		if len(al) < 2+half {
+			return asm.Operand{}, fmt.Errorf("register %s has no overlapping halves", s.m.PhysName(op.Phys))
+		}
+		return asm.Phys(al[1+half]), nil
+	}
+	return asm.Operand{}, fmt.Errorf("lo/hi of non-register operand %s", op)
+}
+
+// coerce ensures op lives in the wanted register set, inserting a move
+// when needed.
+func (s *selector) coerce(op asm.Operand, set *mach.RegSet) (asm.Operand, error) {
+	if set == nil {
+		return op, nil
+	}
+	cur := s.operandSet(op)
+	if cur == set {
+		return op, nil
+	}
+	tmp := asm.Reg(s.af.NewPseudo(set, ir.NoReg))
+	if err := s.move(tmp, op); err != nil {
+		return asm.Operand{}, err
+	}
+	return tmp, nil
+}

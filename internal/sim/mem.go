@@ -1,0 +1,69 @@
+package sim
+
+// memory is a sparse paged byte-addressable little-endian memory.
+type memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+const pageSize = 4096
+
+func newMemory() *memory { return &memory{pages: map[uint32]*[pageSize]byte{}} }
+
+func (m *memory) page(addr uint32) *[pageSize]byte {
+	base := addr &^ (pageSize - 1)
+	p, ok := m.pages[base]
+	if !ok {
+		p = new([pageSize]byte)
+		m.pages[base] = p
+	}
+	return p
+}
+
+func (m *memory) readByte(addr uint32) byte {
+	return m.page(addr)[addr&(pageSize-1)]
+}
+
+func (m *memory) writeByte(addr uint32, v byte) {
+	m.page(addr)[addr&(pageSize-1)] = v
+}
+
+// read reads size bytes little-endian.
+func (m *memory) read(addr uint32, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.readByte(addr+uint32(i))) << (8 * uint(i))
+	}
+	return v
+}
+
+// write stores size bytes little-endian.
+func (m *memory) write(addr uint32, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		m.writeByte(addr+uint32(i), byte(v>>(8*uint(i))))
+	}
+}
+
+// cache is a direct-mapped data cache; only load misses cost cycles
+// (stores are buffered write-through).
+type cache struct {
+	cfg  CacheConfig
+	tags []uint32
+	ok   []bool
+}
+
+func newCache(cfg CacheConfig) *cache {
+	return &cache{cfg: cfg, tags: make([]uint32, cfg.Lines), ok: make([]bool, cfg.Lines)}
+}
+
+// access returns true on hit and fills the line on miss.
+func (c *cache) access(addr uint32) bool {
+	line := addr / uint32(c.cfg.LineSize)
+	idx := line % uint32(c.cfg.Lines)
+	tag := line / uint32(c.cfg.Lines)
+	if c.ok[idx] && c.tags[idx] == tag {
+		return true
+	}
+	c.ok[idx] = true
+	c.tags[idx] = tag
+	return false
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryLittleEndian(t *testing.T) {
+	m := newMemory()
+	m.write(100, 4, 0x11223344)
+	if m.readByte(100) != 0x44 || m.readByte(103) != 0x11 {
+		t.Error("not little endian")
+	}
+	if m.read(100, 4) != 0x11223344 {
+		t.Error("roundtrip failed")
+	}
+	// Cross-page write.
+	m.write(pageSize-2, 8, 0x0102030405060708)
+	if m.read(pageSize-2, 8) != 0x0102030405060708 {
+		t.Error("cross-page roundtrip failed")
+	}
+}
+
+// Property: memory read-after-write roundtrips for all widths/addresses.
+func TestMemoryRoundtripProperty(t *testing.T) {
+	m := newMemory()
+	f := func(addr uint32, v uint64, w uint8) bool {
+		size := []int{1, 2, 4, 8}[w%4]
+		addr %= 1 << 20
+		m.write(addr, size, v)
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*uint(size)) - 1
+		}
+		return m.read(addr, size) == v&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheDirectMapped(t *testing.T) {
+	c := newCache(CacheConfig{Enable: true, Lines: 4, LineSize: 16, MissPenalty: 5})
+	if c.access(0) {
+		t.Error("cold access should miss")
+	}
+	if !c.access(0) || !c.access(15) {
+		t.Error("same line should hit")
+	}
+	if c.access(16) {
+		t.Error("next line should miss")
+	}
+	// 4 lines x 16 bytes: address 64 maps to line 0, evicting address 0.
+	if c.access(64) {
+		t.Error("conflicting tag should miss")
+	}
+	if c.access(0) {
+		t.Error("evicted line should miss again")
+	}
+}

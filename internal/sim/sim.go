@@ -1,0 +1,289 @@
+// Package sim is Marion's execution substrate: a machine-description-
+// driven simulator that both EXECUTES compiled programs (using the same
+// instruction semantics trees the selector matches on) and TIMES them
+// with a scoreboard model derived from the same resource vectors and
+// latencies the scheduler plans with — plus a direct-mapped cache, the
+// one effect the paper's schedulers do not model (§5, Table 4).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"marion/internal/asm"
+	"marion/internal/ir"
+	"marion/internal/mach"
+)
+
+// CacheConfig describes the optional direct-mapped data cache.
+type CacheConfig struct {
+	Enable      bool
+	Lines       int // number of lines (power of two)
+	LineSize    int // bytes per line (power of two)
+	MissPenalty int // extra cycles added to a missing load
+}
+
+// DefaultCache resembles a small late-80s board-level data cache.
+func DefaultCache() CacheConfig {
+	return CacheConfig{Enable: true, Lines: 256, LineSize: 16, MissPenalty: 6}
+}
+
+// Options configure a run.
+type Options struct {
+	Cache     CacheConfig
+	MaxCycles int64 // abort limit; 0 means 4e9
+	// StackTop is the initial stack pointer (default 0x400000).
+	StackTop uint32
+	// Trace, when set, receives one line per issued instruction.
+	Trace func(format string, args ...interface{})
+}
+
+// Stats is the outcome of a run.
+type Stats struct {
+	Cycles      int64
+	Instrs      int64 // instructions executed (including nops)
+	Words       int64 // instruction words issued
+	LoadMisses  int64
+	Loads       int64
+	BlockCounts map[*asm.Block]int64
+	// BlockCycles attributes issue cycles to the block being executed
+	// (diagnostic; includes stalls charged to the entered block).
+	BlockCycles map[*asm.Block]int64
+	// Ret is the raw result register bits at halt.
+	RetI int64
+	RetF float64
+}
+
+const haltPC = 0xffffffff
+
+// Sim is a loaded program ready to run.
+type Sim struct {
+	prog *asm.Program
+	m    *mach.Machine
+	opts Options
+
+	// Flattened code: per function, the instruction list with block
+	// boundaries; a PC is funcIdx<<20 | instIdx.
+	code       [][]*asm.Inst
+	blockAt    []map[int]*asm.Block // instIdx -> block starting there
+	blockStart []map[*asm.Block]int
+	funcIdx    map[string]int
+
+	mem   *memory
+	cache *cache
+
+	regs     []uint64
+	regReady []int64
+	// producer tracks the last writer of each register for %aux-aware
+	// operand-ready computation.
+	producer      []*asm.Inst
+	producerCycle []int64
+
+	latches    map[*mach.RegSet]uint64 // temporal registers
+	latchReady map[*mach.RegSet]int64
+
+	busy     []mach.ResSet // resource reservation window
+	busyBase int64         // absolute cycle of busy[0]
+	cycle    int64
+	trace    func(format string, args ...interface{})
+
+	stats Stats
+}
+
+// New loads a program into a fresh simulator.
+func New(prog *asm.Program, opts Options) *Sim {
+	if opts.MaxCycles == 0 {
+		opts.MaxCycles = 4_000_000_000
+	}
+	if opts.StackTop == 0 {
+		opts.StackTop = 0x400000
+	}
+	m := prog.Machine
+	s := &Sim{
+		prog: prog, m: m, opts: opts,
+		funcIdx:       map[string]int{},
+		mem:           newMemory(),
+		regs:          make([]uint64, m.NumPhys),
+		regReady:      make([]int64, m.NumPhys),
+		producer:      make([]*asm.Inst, m.NumPhys),
+		producerCycle: make([]int64, m.NumPhys),
+		latches:       map[*mach.RegSet]uint64{},
+	}
+	s.trace = opts.Trace
+	if opts.Cache.Enable {
+		s.cache = newCache(opts.Cache)
+	}
+	for i, f := range prog.Funcs {
+		s.funcIdx[f.Name] = i
+		var insts []*asm.Inst
+		at := map[int]*asm.Block{}
+		starts := map[*asm.Block]int{}
+		for _, b := range f.Blocks {
+			at[len(insts)] = b
+			starts[b] = len(insts)
+			insts = append(insts, b.Insts...)
+		}
+		s.code = append(s.code, insts)
+		s.blockAt = append(s.blockAt, at)
+		s.blockStart = append(s.blockStart, starts)
+	}
+	// Initialize globals.
+	for _, g := range prog.Globals {
+		addr := uint32(g.Offset)
+		esz := g.Type.Size()
+		for i, v := range g.InitI {
+			s.mem.write(addr+uint32(i*esz), esz, uint64(v))
+		}
+		for i, v := range g.InitF {
+			if g.Type == ir.F32 {
+				s.mem.write(addr+uint32(i*4), 4, uint64(math.Float32bits(float32(v))))
+			} else {
+				s.mem.write(addr+uint32(i*8), 8, math.Float64bits(v))
+			}
+		}
+	}
+	return s
+}
+
+// Mem gives test harnesses raw access to simulated memory.
+func (s *Sim) Mem() *memory { return s.mem }
+
+// WriteF64 pokes a double into memory (for preparing workloads).
+func (s *Sim) WriteF64(addr uint32, v float64) { s.mem.write(addr, 8, math.Float64bits(v)) }
+
+// ReadF64 reads a double from memory.
+func (s *Sim) ReadF64(addr uint32) float64 { return math.Float64frombits(s.mem.read(addr, 8)) }
+
+// WriteI32 pokes an int.
+func (s *Sim) WriteI32(addr uint32, v int32) { s.mem.write(addr, 4, uint64(uint32(v))) }
+
+// ReadI32 reads an int.
+func (s *Sim) ReadI32(addr uint32) int32 { return int32(s.mem.read(addr, 4)) }
+
+// setReg writes a register, honoring overlap aliases and hard wiring.
+func (s *Sim) setReg(p mach.PhysID, bits uint64) {
+	if _, hard := s.m.IsHard(p); hard {
+		return
+	}
+	ref := s.m.PhysRef(p)
+	al := s.m.Aliases(p)
+	if ref.Set.Size == 8 && len(al) >= 3 {
+		// Canonical storage lives in the overlapping narrow registers.
+		s.regs[al[1]] = bits & 0xffffffff
+		s.regs[al[2]] = bits >> 32
+		return
+	}
+	if ref.Set.Size == 8 {
+		s.regs[p] = bits
+		return
+	}
+	s.regs[p] = bits & 0xffffffff
+}
+
+// getReg reads a register, honoring aliases and hard wiring.
+func (s *Sim) getReg(p mach.PhysID) uint64 {
+	if v, hard := s.m.IsHard(p); hard {
+		return uint64(v)
+	}
+	ref := s.m.PhysRef(p)
+	al := s.m.Aliases(p)
+	if ref.Set.Size == 8 && len(al) >= 3 {
+		return s.regs[al[1]] | s.regs[al[2]]<<32
+	}
+	return s.regs[p]
+}
+
+func (s *Sim) setReady(p mach.PhysID, when int64, in *asm.Inst) {
+	for _, a := range s.m.Aliases(p) {
+		if when > s.regReady[a] {
+			s.regReady[a] = when
+		}
+		s.producer[a] = in
+		s.producerCycle[a] = s.cycle
+	}
+}
+
+// Value is a typed runtime value for function arguments and results.
+type Value struct {
+	I     int64
+	F     float64
+	Float bool
+}
+
+// Int returns an integer argument value.
+func Int(v int64) Value { return Value{I: v} }
+
+// Float64 returns a double argument value.
+func Float64(v float64) Value { return Value{F: v, Float: true} }
+
+// Run executes the named function with the given arguments and returns
+// run statistics (including the result register contents).
+func (s *Sim) Run(fname string, args ...Value) (*Stats, error) {
+	fi, ok := s.funcIdx[fname]
+	if !ok {
+		return nil, fmt.Errorf("sim: function %q not in program", fname)
+	}
+	s.stats = Stats{BlockCounts: map[*asm.Block]int64{}, BlockCycles: map[*asm.Block]int64{}}
+	// Each Run is an independent timing measurement: reset the scoreboard
+	// (memory and cache state persist deliberately, so an init call can
+	// prepare data for a measured kernel call).
+	s.cycle = 0
+	s.busy = s.busy[:0]
+	s.busyBase = 0
+	for i := range s.regReady {
+		s.regReady[i] = 0
+		s.producer[i] = nil
+		s.producerCycle[i] = 0
+	}
+	s.latchReady = map[*mach.RegSet]int64{}
+
+	// CWVM runtime setup: stack pointer, return address sentinel,
+	// argument registers.
+	s.setReg(s.m.Cwvm.SP.Phys(), uint64(s.opts.StackTop))
+	s.setReg(s.m.Cwvm.FP.Phys(), uint64(s.opts.StackTop))
+	s.setReg(s.m.Cwvm.RetAddr.Phys(), haltPC)
+	types := make([]ir.Type, len(args))
+	for i, a := range args {
+		if a.Float {
+			types[i] = ir.F64
+		} else {
+			types[i] = ir.I32
+		}
+	}
+	for i, loc := range s.m.Cwvm.AssignArgs(types) {
+		a := args[i]
+		if loc.InReg {
+			if a.Float {
+				s.setReg(loc.Ref.Phys(), math.Float64bits(a.F))
+			} else {
+				s.setReg(loc.Ref.Phys(), uint64(a.I))
+			}
+			continue
+		}
+		// Stack argument: the callee reads it at fp+off, and its frame
+		// pointer equals our initial stack pointer.
+		if a.Float {
+			s.mem.write(s.opts.StackTop+uint32(loc.StackOff), 8, math.Float64bits(a.F))
+		} else {
+			s.mem.write(s.opts.StackTop+uint32(loc.StackOff), 4, uint64(uint32(a.I)))
+		}
+	}
+
+	if err := s.exec(fi); err != nil {
+		return nil, err
+	}
+
+	// Result registers.
+	if ref, ok := s.m.Cwvm.ResultFor(ir.I32); ok {
+		s.stats.RetI = int64(int32(s.getReg(ref.Phys())))
+	}
+	if ref, ok := s.m.Cwvm.ResultFor(ir.F64); ok {
+		s.stats.RetF = math.Float64frombits(s.getReg(ref.Phys()))
+	}
+	st := s.stats
+	return &st, nil
+}
+
+func pcOf(f, i int) uint32 { return uint32(f)<<20 | uint32(i) }
+func pcFunc(pc uint32) int { return int(pc >> 20) }
+func pcInst(pc uint32) int { return int(pc & 0xfffff) }

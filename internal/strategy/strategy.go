@@ -1,0 +1,388 @@
+// Package strategy implements Marion's code generation strategies — the
+// component that directs the invocation of and level of communication
+// between instruction scheduling and global register allocation (paper
+// §2). Four strategies are provided:
+//
+//   - Naive: no scheduling (in-order issue), the local-optimization-only
+//     baseline standing in for "cc -O1".
+//   - Postpass: global register allocation followed by scheduling
+//     (Gibbons & Muchnick).
+//   - IPS: integrated prepass scheduling — schedule with a limit on
+//     local register use, allocate, schedule again (Goodman & Hsu).
+//   - RASE: register allocation with schedule estimates — gather
+//     schedule cost estimates, allocate with them, final scheduling
+//     (Bradlee, Eggers & Henry).
+//
+// The strategy also owns function prologue/epilogue generation and final
+// frame layout, built from description-derived instructions.
+package strategy
+
+import (
+	"fmt"
+
+	"marion/internal/asm"
+	"marion/internal/ir"
+	"marion/internal/mach"
+	"marion/internal/regalloc"
+	"marion/internal/sched"
+	"marion/internal/sel"
+)
+
+// Kind selects a code generation strategy.
+type Kind uint8
+
+const (
+	Naive Kind = iota
+	Postpass
+	IPS
+	RASE
+	// Local is the weakest baseline: local-only register allocation
+	// (every cross-block value lives in memory) and no scheduling — the
+	// stand-in for the paper's "cc -O1" local-optimization comparator.
+	Local
+)
+
+var kindNames = map[Kind]string{
+	Naive: "naive", Postpass: "postpass", IPS: "ips", RASE: "rase", Local: "local",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// ParseKind converts a strategy name.
+func ParseKind(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want naive, postpass, ips or rase)", s)
+}
+
+// Stats reports what the strategy did to one function.
+type Stats struct {
+	Spills      int
+	SpillSlots  int
+	AllocRounds int
+	// EstimatedCycles is the sum of per-block scheduler cost estimates
+	// (unweighted; see experiments for frequency-weighted costs).
+	EstimatedCycles int
+	// SchedulePasses counts scheduler invocations (including estimates).
+	SchedulePasses int
+	// SlotsFilled counts delay-slot nops replaced by useful instructions
+	// (only when Options.FillDelaySlots is set).
+	SlotsFilled int
+}
+
+// Options tune strategy behavior (mostly for ablation benches).
+type Options struct {
+	Sched sched.Options
+	// IPSReserve is subtracted from the register limit IPS uses.
+	IPSReserve int
+	// FillDelaySlots enables the optional post-scheduling pass (§4.4)
+	// that replaces delay-slot nops with safe instructions hoisted from
+	// above the transfer. Off by default: the paper's Marion always
+	// emits nops.
+	FillDelaySlots bool
+}
+
+// Apply runs the full back end pipeline of the given strategy on a
+// selected function: scheduling, allocation, prologue/epilogue.
+func Apply(m *mach.Machine, af *asm.Func, kind Kind, opts Options) (*Stats, error) {
+	st := &Stats{}
+
+	// Parameter binding moves come first; they are ordinary instructions
+	// that scheduling and allocation see.
+	if err := insertEntryMoves(m, af); err != nil {
+		return nil, err
+	}
+
+	switch kind {
+	case Naive, Local:
+		aopts := regalloc.Options{SpillGlobals: kind == Local}
+		if _, err := allocateOpts(m, af, st, aopts); err != nil {
+			return nil, err
+		}
+		o := opts.Sched
+		o.FIFO = true
+		scheduleAll(m, af, st, o)
+
+	case Postpass:
+		if _, err := allocate(m, af, st); err != nil {
+			return nil, err
+		}
+		scheduleAll(m, af, st, opts.Sched)
+
+	case IPS:
+		// Prepass: schedule with a limit on local register use.
+		limit := map[*mach.RegSet]int{}
+		for _, rs := range m.RegSets {
+			if k := len(m.AllocableIn(rs)); k > 0 {
+				l := k - 1 - opts.IPSReserve
+				if l < 2 {
+					l = 2
+				}
+				limit[rs] = l
+			}
+		}
+		pre := opts.Sched
+		pre.MaxLive = limit
+		pre.LiveOut = sched.LiveOutPseudos(af)
+		scheduleAllPrepass(m, af, st, pre)
+		if _, err := allocate(m, af, st); err != nil {
+			return nil, err
+		}
+		scheduleAll(m, af, st, opts.Sched)
+
+	case RASE:
+		if err := raseEstimates(m, af, st, opts); err != nil {
+			return nil, err
+		}
+		if _, err := allocate(m, af, st); err != nil {
+			return nil, err
+		}
+		scheduleAll(m, af, st, opts.Sched)
+	}
+
+	if opts.FillDelaySlots {
+		st.SlotsFilled = sched.FillDelaySlots(m, af)
+	}
+	return st, frame(m, af)
+}
+
+func allocate(m *mach.Machine, af *asm.Func, st *Stats) (*regalloc.Result, error) {
+	return allocateOpts(m, af, st, regalloc.Options{})
+}
+
+func allocateOpts(m *mach.Machine, af *asm.Func, st *Stats, aopts regalloc.Options) (*regalloc.Result, error) {
+	res, err := regalloc.AllocateOpts(m, af, aopts)
+	if err != nil {
+		return nil, err
+	}
+	st.Spills += res.Spills
+	st.SpillSlots = res.SpillSlots
+	st.AllocRounds += res.Rounds
+	af.SpillSlots = res.SpillSlots
+	af.CalleeSaved = res.UsedCalleeSave
+	elideMoves(af)
+	return res, nil
+}
+
+// elideMoves drops register moves whose source and destination were
+// colored identically.
+func elideMoves(af *asm.Func) {
+	for _, b := range af.Blocks {
+		out := b.Insts[:0]
+		for _, in := range b.Insts {
+			if in.Tmpl.Move && len(in.Tmpl.DefOps) == 1 && len(in.Tmpl.UseOps) >= 1 {
+				d := in.Args[in.Tmpl.DefOps[0]]
+				s := in.Args[in.Tmpl.UseOps[0]]
+				if d.Kind == asm.OpPhys && d == s {
+					continue
+				}
+			}
+			out = append(out, in)
+		}
+		b.Insts = out
+	}
+}
+
+// scheduleAll schedules every block and records the summed estimate.
+func scheduleAll(m *mach.Machine, af *asm.Func, st *Stats, opts sched.Options) {
+	total := 0
+	for _, b := range af.Blocks {
+		stripNops(m, b)
+		total += sched.Schedule(m, af, b, opts)
+		st.SchedulePasses++
+	}
+	st.EstimatedCycles = total
+}
+
+// scheduleAllPrepass is scheduleAll for PRE-allocation passes, with one
+// safeguard: blocks containing explicitly-advanced-pipeline
+// sub-operations keep their selection order (FIFO). A prepass reorder
+// would interleave temporal sequences; the allocator's register reuse
+// then adds cross-sequence anti-dependences that can make the
+// interleaving unschedulable under Rule 1. The post-allocation pass,
+// which starts from sequence-contiguous order, performs the temporal
+// overlap instead (as Postpass does).
+func scheduleAllPrepass(m *mach.Machine, af *asm.Func, st *Stats, opts sched.Options) {
+	total := 0
+	for _, b := range af.Blocks {
+		stripNops(m, b)
+		o := opts
+		if blockHasTemporal(b) {
+			// Strict order: even FIFO priority would interleave
+			// sequences by filling stall cycles with later sub-ops.
+			o.Sequential = true
+			o.MaxLive = nil
+		}
+		total += sched.Schedule(m, af, b, o)
+		st.SchedulePasses++
+	}
+	st.EstimatedCycles = total
+}
+
+func blockHasTemporal(b *asm.Block) bool {
+	for _, in := range b.Insts {
+		if len(in.Tmpl.ReadsTRegs) > 0 || len(in.Tmpl.WritesTRegs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// stripNops removes delay-slot nops from an earlier scheduling pass so a
+// block can be rescheduled.
+func stripNops(m *mach.Machine, b *asm.Block) {
+	out := b.Insts[:0]
+	for _, in := range b.Insts {
+		if in.Tmpl == m.Nop && len(in.Args) == 0 {
+			continue
+		}
+		in.Cycle = -1
+		out = append(out, in)
+	}
+	b.Insts = out
+}
+
+// raseEstimates implements RASE's estimate pass: for each block, the
+// scheduler is invoked to measure the cost of running with one register
+// fewer than the allocator has; local pseudo-register spill costs are
+// scaled by that penalty, so the allocator spends registers where the
+// schedule needs them. (The paper replaces local pseudos with per-block
+// register-usage nodes; the spill-cost scaling is our equivalent over
+// the same Chaitin-Briggs allocator.)
+func raseEstimates(m *mach.Machine, af *asm.Func, st *Stats, opts Options) error {
+	// Which pseudos are local to exactly one block?
+	blockOf := map[asm.PseudoID]*asm.Block{}
+	shared := map[asm.PseudoID]bool{}
+	for _, b := range af.Blocks {
+		for _, in := range b.Insts {
+			for _, a := range in.Args {
+				if a.Kind != asm.OpPseudo && a.Kind != asm.OpPseudoHalf {
+					continue
+				}
+				if fb, ok := blockOf[a.Pseudo]; ok && fb != b {
+					shared[a.Pseudo] = true
+				} else {
+					blockOf[a.Pseudo] = b
+				}
+			}
+		}
+	}
+
+	liveOut := sched.LiveOutPseudos(af)
+	for _, b := range af.Blocks {
+		free := sched.Estimate(m, af, b, opts.Sched)
+		st.SchedulePasses++
+
+		tight := opts.Sched
+		tight.MaxLive = map[*mach.RegSet]int{}
+		for _, rs := range m.RegSets {
+			if k := len(m.AllocableIn(rs)); k > 2 {
+				tight.MaxLive[rs] = k - 2
+			}
+		}
+		tight.LiveOut = liveOut
+		constrained := sched.Estimate(m, af, b, tight)
+		st.SchedulePasses++
+
+		penalty := float64(constrained-free) + 1
+		if penalty < 1 {
+			penalty = 1
+		}
+		for p, fb := range blockOf {
+			if fb == b && !shared[p] {
+				af.Pseudos[p].SpillCost *= penalty
+			}
+		}
+		b.SchedCost = free
+	}
+	return nil
+}
+
+// insertEntryMoves binds incoming parameters: moves from CWVM argument
+// registers into parameter pseudos, loads for stack-resident arguments,
+// and stores for address-taken parameters that live in the frame.
+func insertEntryMoves(m *mach.Machine, af *asm.Func) error {
+	fn := af.IR
+	if fn == nil || len(fn.Params) == 0 {
+		return nil
+	}
+	fp := m.Cwvm.FP.Phys()
+	var entry []*asm.Inst
+	types := make([]ir.Type, len(fn.Params))
+	for i, sym := range fn.Params {
+		types[i] = sym.Type
+	}
+	locs := m.Cwvm.AssignArgs(types)
+
+	for i, sym := range fn.Params {
+		t := sym.Type
+		loc := locs[i]
+		reg := fn.ParamRegs[i]
+		switch {
+		case loc.InReg && reg != ir.NoReg:
+			p, err := pseudoOf(af, reg)
+			if err != nil {
+				return err
+			}
+			mv, err := sel.BuildMove(m, af, asm.Reg(p), asm.Phys(loc.Ref.Phys()))
+			if err != nil {
+				return err
+			}
+			entry = append(entry, mv...)
+
+		case loc.InReg && reg == ir.NoReg:
+			// Address-taken parameter: store the incoming register into
+			// its frame home.
+			st, err := sel.BuildStore(m, af, asm.Phys(loc.Ref.Phys()), fp, int64(sym.Offset), t)
+			if err != nil {
+				return err
+			}
+			entry = append(entry, st)
+
+		case reg != ir.NoReg:
+			// Stack argument into a register pseudo.
+			p, err := pseudoOf(af, reg)
+			if err != nil {
+				return err
+			}
+			ld, err := sel.BuildLoad(m, af, asm.Reg(p), fp, int64(loc.StackOff), t)
+			if err != nil {
+				return err
+			}
+			entry = append(entry, ld)
+
+		default:
+			// Stack argument that is address-taken: copy via a temporary.
+			set := m.Cwvm.GeneralSet(t)
+			tmp := af.NewPseudo(set, ir.NoReg)
+			ld, err := sel.BuildLoad(m, af, asm.Reg(tmp), fp, int64(loc.StackOff), t)
+			if err != nil {
+				return err
+			}
+			stc, err := sel.BuildStore(m, af, asm.Reg(tmp), fp, int64(sym.Offset), t)
+			if err != nil {
+				return err
+			}
+			entry = append(entry, ld, stc)
+		}
+	}
+
+	if len(af.Blocks) == 0 {
+		return nil
+	}
+	b0 := af.Blocks[0]
+	b0.Insts = append(entry, b0.Insts...)
+	return nil
+}
+
+func pseudoOf(af *asm.Func, r ir.RegID) (asm.PseudoID, error) {
+	for i := range af.Pseudos {
+		if af.Pseudos[i].IR == r {
+			return asm.PseudoID(i), nil
+		}
+	}
+	return asm.NoPseudo, fmt.Errorf("%s: no pseudo for IL register t%d", af.Name, r)
+}

@@ -1,0 +1,155 @@
+package strategy
+
+import (
+	"testing"
+
+	"marion/internal/asm"
+	"marion/internal/cc"
+	"marion/internal/ilgen"
+	"marion/internal/mach"
+	"marion/internal/sel"
+	"marion/internal/targets"
+	"marion/internal/xform"
+)
+
+func applyOn(t *testing.T, src, fname string, kind Kind) (*mach.Machine, *asm.Func, *Stats) {
+	t.Helper()
+	m, err := targets.Load("toyp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cc.Compile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ilgen.Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := mod.Lookup(fname)
+	xform.Apply(m, fn)
+	af, err := sel.Select(m, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Apply(m, af, kind, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, af, st
+}
+
+func TestParseKind(t *testing.T) {
+	for _, name := range []string{"naive", "postpass", "ips", "rase", "local"} {
+		k, err := ParseKind(name)
+		if err != nil || k.String() != name {
+			t.Errorf("ParseKind(%q) = %v, %v", name, k, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestEntryMovesBindParams(t *testing.T) {
+	m, af, _ := applyOn(t, `int f(int a, int b) { return a + b; }`, "f", Postpass)
+	// The entry block must read both CWVM argument registers.
+	r := m.RegSet("r")
+	seen := map[mach.PhysID]bool{}
+	for _, in := range af.Blocks[0].Insts {
+		for _, oi := range in.Tmpl.UseOps {
+			if a := in.Args[oi]; a.Kind == asm.OpPhys {
+				seen[a.Phys] = true
+			}
+		}
+	}
+	if !seen[r.Phys(2)] || !seen[r.Phys(3)] {
+		t.Error("argument registers not read in the entry block")
+	}
+}
+
+func TestFrameLayout(t *testing.T) {
+	_, af, _ := applyOn(t, `
+int g(int x);
+int f(int a) { return g(a) + a; }`, "f", Postpass)
+	if !af.UsesCalls {
+		t.Fatal("UsesCalls not set")
+	}
+	if af.FrameSize <= 0 || af.FrameSize%8 != 0 {
+		t.Errorf("frame = %d", af.FrameSize)
+	}
+	first := af.Blocks[0].Insts[0]
+	if first.Args[2].Imm != -int64(af.FrameSize) {
+		t.Errorf("prologue sp adjust = %v", first)
+	}
+}
+
+func TestIPSRunsThreePasses(t *testing.T) {
+	_, _, st := applyOn(t, `
+double f(double a, double b) { return a*b + a + b; }`, "f", IPS)
+	// IPS: prepass + final schedule over all blocks.
+	if st.SchedulePasses < 2 {
+		t.Errorf("schedule passes = %d", st.SchedulePasses)
+	}
+}
+
+func TestRASEEstimatePasses(t *testing.T) {
+	_, _, st := applyOn(t, `
+double f(double a, double b) { return a*b + a + b; }`, "f", RASE)
+	// RASE: two estimates per block plus the final schedule.
+	if st.SchedulePasses < 3 {
+		t.Errorf("schedule passes = %d", st.SchedulePasses)
+	}
+}
+
+func TestLocalSpillsCrossBlockValues(t *testing.T) {
+	_, _, stLocal := applyOn(t, `
+int f(int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) s += i;
+    return s;
+}`, "f", Local)
+	if stLocal.Spills < 3 {
+		t.Errorf("local strategy spills = %d, want >= 3", stLocal.Spills)
+	}
+}
+
+func TestNopFilledDelaySlots(t *testing.T) {
+	m, af, _ := applyOn(t, `
+int g(int x);
+int f(int a) { return g(a) + g(a + 1); }`, "f", Postpass)
+	// Every transfer (calls included) must be followed by its delay-slot
+	// nops in emission order.
+	for _, b := range af.Blocks {
+		for i, in := range b.Insts {
+			if !in.Tmpl.Transfers() {
+				continue
+			}
+			slots := in.Tmpl.Slots
+			if slots < 0 {
+				slots = -slots
+			}
+			for s := 1; s <= slots; s++ {
+				if i+s >= len(b.Insts) || b.Insts[i+s].Tmpl != m.Nop {
+					t.Errorf("missing delay-slot nop after %s", in)
+				}
+			}
+		}
+	}
+}
+
+func TestMoveElision(t *testing.T) {
+	_, af, _ := applyOn(t, `int f(int a) { int b = a; return b; }`, "f", Postpass)
+	for _, b := range af.Blocks {
+		for _, in := range b.Insts {
+			if in.Tmpl.Move && len(in.Tmpl.DefOps) == 1 {
+				d := in.Args[in.Tmpl.DefOps[0]]
+				s := in.Args[in.Tmpl.UseOps[0]]
+				if d == s {
+					t.Errorf("self move survived: %s", in)
+				}
+			}
+		}
+	}
+}

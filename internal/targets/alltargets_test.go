@@ -1,0 +1,101 @@
+package targets
+
+import (
+	"testing"
+
+	"marion/internal/ir"
+)
+
+func TestLoadAllTargets(t *testing.T) {
+	for _, name := range []string{"toyp", "r2000", "r2000s", "m88000", "i860", "rs6000"} {
+		t.Run(name, func(t *testing.T) {
+			m, info, err := LoadInfo(name)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if len(m.Instrs) < 20 {
+				t.Errorf("only %d instructions", len(m.Instrs))
+			}
+			if info.TotalLines == 0 {
+				t.Error("no line info")
+			}
+			if m.Cwvm.GeneralSet(ir.I32) == nil || m.Cwvm.GeneralSet(ir.F64) == nil {
+				t.Error("missing general sets")
+			}
+		})
+	}
+}
+
+func TestI860Features(t *testing.T) {
+	m, err := Load("i860")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Clocks) != 2 {
+		t.Errorf("clocks = %v", m.Clocks)
+	}
+	if len(m.Elements) != 3 { // pfmul, m12apm, pfadd
+		t.Errorf("elements = %v", m.Elements)
+	}
+	st := m.Stat()
+	if st.Classes == 0 || st.Seqs != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	m1 := m.InstrByLabel("m1")
+	if m1.AffectsClock != m.Clock("clk_m") {
+		t.Error("m1 clock wrong")
+	}
+	if len(m1.WritesTRegs) != 1 || !m1.WritesTRegs[0].Temporal {
+		t.Error("m1 latch write missing")
+	}
+	a1m := m.InstrByLabel("a1m")
+	if len(a1m.ReadsTRegs) != 1 || a1m.ReadsTRegs[0].Name != "mr3" {
+		t.Errorf("a1m chaining read = %v", a1m.ReadsTRegs)
+	}
+	// m-ops and a-ops pack only via the dual-operation word.
+	a2 := m.InstrByLabel("a2")
+	m2 := m.InstrByLabel("m2")
+	inter := a2.Class.Intersect(m2.Class)
+	if inter.IsEmpty() {
+		t.Error("a2/m2 should share m12apm")
+	}
+}
+
+func TestRS6000MultiIssue(t *testing.T) {
+	m, err := Load("rs6000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch, fixed point and floating point instructions use disjoint
+	// resources: the scheduler can issue one of each per cycle.
+	br := m.InstrByLabel("beq0")
+	fx := m.InstrByLabel("cax")
+	fp := m.InstrByLabel("fa")
+	if br.ResVec[0].Intersects(fx.ResVec[0]) || fx.ResVec[0].Intersects(fp.ResVec[0]) ||
+		br.ResVec[0].Intersects(fp.ResVec[0]) {
+		t.Error("functional units share resources; multi-issue impossible")
+	}
+	if br.Slots != 0 {
+		t.Errorf("RS/6000 branches have no delay slots, got %d", br.Slots)
+	}
+}
+
+func TestM88000Pairs(t *testing.T) {
+	m, err := Load("m88000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.RegSet("d")
+	r := m.RegSet("r")
+	al := m.Aliases(d.Phys(3))
+	if len(al) != 3 || al[1] != r.Phys(6) || al[2] != r.Phys(7) {
+		t.Errorf("d3 aliases = %v (want r6,r7)", al)
+	}
+	movd := m.InstrByLabel("movd")
+	if movd == nil || len(movd.Seq) != 2 {
+		t.Error("movd seq directive missing")
+	}
+	if len(m.AuxLats) != 2 {
+		t.Errorf("aux lats = %d", len(m.AuxLats))
+	}
+}

@@ -1,0 +1,79 @@
+// Package targets holds the Maril machine descriptions shipped with
+// Marion: TOYP (the paper's running example, Figures 1-3), the MIPS R2000,
+// the Motorola 88000 and the Intel i860 model.
+package targets
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"marion/internal/mach"
+	"marion/internal/maril"
+)
+
+// Desc is a named description source.
+type Desc struct {
+	Name   string
+	Source string
+}
+
+var registry = map[string]*Desc{}
+
+// Register adds a description to the registry; used by the per-target
+// source files and available to user programs for custom targets.
+func Register(name, source string) {
+	registry[name] = &Desc{Name: name, Source: source}
+}
+
+// Names returns the registered target names, sorted.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Source returns the Maril source text of a target.
+func Source(name string) (string, error) {
+	d, ok := registry[name]
+	if !ok {
+		return "", fmt.Errorf("targets: unknown target %q (have %v)", name, Names())
+	}
+	return d.Source, nil
+}
+
+var (
+	mu    sync.Mutex
+	cache = map[string]*mach.Machine{}
+	infos = map[string]*maril.Info{}
+)
+
+// Load parses and finalizes a registered target description. Results are
+// cached; machines are treated as immutable after load.
+func Load(name string) (*mach.Machine, error) {
+	m, _, err := LoadInfo(name)
+	return m, err
+}
+
+// LoadInfo is Load plus description statistics (for Table 1).
+func LoadInfo(name string) (*mach.Machine, *maril.Info, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if m, ok := cache[name]; ok {
+		return m, infos[name], nil
+	}
+	src, err := Source(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, info, err := maril.ParseInfo(name+".maril", src)
+	if err != nil {
+		return nil, nil, err
+	}
+	cache[name] = m
+	infos[name] = info
+	return m, info, nil
+}

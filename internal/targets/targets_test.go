@@ -1,0 +1,71 @@
+package targets
+
+import (
+	"testing"
+
+	"marion/internal/ir"
+)
+
+func TestLoadToyp(t *testing.T) {
+	m, info, err := LoadInfo("toyp")
+	if err != nil {
+		t.Fatalf("load toyp: %v", err)
+	}
+	if m.Name != "TOYP" {
+		t.Errorf("name = %q", m.Name)
+	}
+	if info.DeclareLines == 0 || info.InstrLines == 0 {
+		t.Errorf("info lines = %+v", info)
+	}
+	if m.RegSet("r").Count() != 8 || m.RegSet("d").Count() != 4 {
+		t.Error("register counts wrong")
+	}
+	if len(m.Resources) != 10 {
+		t.Errorf("resources = %v", m.Resources)
+	}
+	fadd := m.InstrByLabel("fadd.d")
+	if fadd == nil || fadd.Latency != 6 || fadd.TypeConstraint != ir.F64 {
+		t.Fatalf("fadd.d = %+v", fadd)
+	}
+	if len(m.AuxLats) != 1 || m.AuxLats[0].Latency != 7 {
+		t.Errorf("aux lats = %+v", m.AuxLats)
+	}
+	if len(m.Glues) != 13 {
+		t.Errorf("glue count = %d, want 13", len(m.Glues))
+	}
+	st := m.Stat()
+	if st.Seqs != 1 || st.Moves != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Load is cached.
+	m2, err := Load("toyp")
+	if err != nil || m2 != m {
+		t.Error("expected cached machine")
+	}
+}
+
+func TestToypCallerSave(t *testing.T) {
+	m, err := Load("toyp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := m.CallerSave()
+	// Allocable r2..r5, d1..d3; callee-save r4,r5,d2,d3 => caller-save r2,r3,d1.
+	if len(cs) != 3 {
+		t.Fatalf("caller save = %v", cs)
+	}
+}
+
+func TestToypHardZero(t *testing.T) {
+	m, err := Load("toyp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.RegSet("r")
+	if v, ok := m.IsHard(r.Phys(0)); !ok || v != 0 {
+		t.Errorf("r0 hard = %v %v", v, ok)
+	}
+	if _, ok := m.IsHard(r.Phys(1)); ok {
+		t.Error("r1 should not be hard")
+	}
+}

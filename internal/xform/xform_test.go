@@ -1,0 +1,117 @@
+package xform
+
+import (
+	"strings"
+	"testing"
+
+	"marion/internal/ir"
+	"marion/internal/targets"
+)
+
+func TestGlueRewritesCompareBranch(t *testing.T) {
+	m, err := targets.Load("toyp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := ir.NewFunc("f", ir.Void)
+	b := fn.NewBlock()
+	tgt := fn.NewBlock()
+	a := fn.NewReg(ir.I32, "a")
+	c := fn.NewReg(ir.I32, "c")
+	cond := ir.New(ir.Lt, ir.I32, ir.NewReg(ir.I32, a), ir.NewReg(ir.I32, c))
+	b.Stmts = []*ir.Node{{Op: ir.Branch, Kids: []*ir.Node{cond}, Target: tgt}}
+	Apply(m, fn)
+	got := b.Stmts[0].String()
+	if !strings.Contains(got, "::") {
+		t.Errorf("glue did not expand compare: %s", got)
+	}
+	// Shape: if ((a :: c) < 0) goto ...
+	rel := b.Stmts[0].Kids[0]
+	if rel.Op != ir.Lt || rel.Kids[0].Op != ir.Cmp || !rel.Kids[1].IsIntConst(0) {
+		t.Errorf("rewritten condition wrong: %s", got)
+	}
+}
+
+func TestGlueZeroGuardSuppressesRewrite(t *testing.T) {
+	m, err := targets.Load("toyp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := ir.NewFunc("f", ir.Void)
+	b := fn.NewBlock()
+	tgt := fn.NewBlock()
+	a := fn.NewReg(ir.I32, "a")
+	cond := ir.New(ir.Eq, ir.I32, ir.NewReg(ir.I32, a), ir.NewConst(ir.I32, 0))
+	b.Stmts = []*ir.Node{{Op: ir.Branch, Kids: []*ir.Node{cond}, Target: tgt}}
+	Apply(m, fn)
+	// Comparison against literal zero keeps the direct beq0 form.
+	if b.Stmts[0].Kids[0].Op != ir.Eq || b.Stmts[0].Kids[0].Kids[0].Op == ir.Cmp {
+		t.Errorf("zero compare should not be glued: %s", b.Stmts[0])
+	}
+}
+
+func TestGlueBigConstantSplit(t *testing.T) {
+	m, err := targets.Load("toyp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := ir.NewFunc("f", ir.Void)
+	b := fn.NewBlock()
+	d := fn.NewReg(ir.I32, "d")
+	b.Stmts = []*ir.Node{
+		{Op: ir.Asgn, Type: ir.I32, Reg: d, Kids: []*ir.Node{ir.NewConst(ir.I32, 100000)}},
+		{Op: ir.Asgn, Type: ir.I32, Reg: d, Kids: []*ir.Node{ir.NewConst(ir.I32, 42)}},
+	}
+	Apply(m, fn)
+	big := b.Stmts[0].Kids[0]
+	if big.Op != ir.Or || big.Kids[0].Op != ir.High || big.Kids[1].Op != ir.Low {
+		t.Errorf("big constant not split: %s", big)
+	}
+	if b.Stmts[1].Kids[0].Op != ir.Const {
+		t.Errorf("small constant should stay: %s", b.Stmts[1])
+	}
+}
+
+func TestGlueTerminates(t *testing.T) {
+	// The rewrite result embeds its own LHS shape (== over int operands);
+	// single application per node must terminate.
+	m, err := targets.Load("toyp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := ir.NewFunc("f", ir.Void)
+	b := fn.NewBlock()
+	tgt := fn.NewBlock()
+	a := fn.NewReg(ir.I32, "a")
+	c := fn.NewReg(ir.I32, "c")
+	cond := ir.New(ir.Eq, ir.I32, ir.NewReg(ir.I32, a), ir.NewReg(ir.I32, c))
+	b.Stmts = []*ir.Node{{Op: ir.Branch, Kids: []*ir.Node{cond}, Target: tgt}}
+	Apply(m, fn) // must not hang
+	rel := b.Stmts[0].Kids[0]
+	if rel.Op != ir.Eq || rel.Kids[0].Op != ir.Cmp {
+		t.Errorf("rewrite wrong: %s", b.Stmts[0])
+	}
+	if rel.Kids[0].Kids[0].Op == ir.Cmp {
+		t.Error("glue applied twice")
+	}
+}
+
+func TestGlueSharedSubtreeRewrittenOnce(t *testing.T) {
+	m, err := targets.Load("toyp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := ir.NewFunc("f", ir.Void)
+	b := fn.NewBlock()
+	d := fn.NewReg(ir.I32, "d")
+	e := fn.NewReg(ir.I32, "e")
+	shared := ir.NewConst(ir.I32, 100000)
+	b.Stmts = []*ir.Node{
+		{Op: ir.Asgn, Type: ir.I32, Reg: d, Kids: []*ir.Node{shared}},
+		{Op: ir.Asgn, Type: ir.I32, Reg: e, Kids: []*ir.Node{shared}},
+	}
+	Apply(m, fn)
+	if b.Stmts[0].Kids[0] != b.Stmts[1].Kids[0] {
+		t.Error("sharing broken by rewrite")
+	}
+}
