@@ -1,0 +1,25 @@
+# Tier-1 verification plus the concurrency guardrails for the parallel
+# per-function back end. `make ci` is what CI (and ROADMAP.md's tier-1
+# line) runs.
+
+GO ?= go
+
+.PHONY: build test vet race bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race detector is the guardrail for the parallel back end.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem
+
+ci: build vet test race

@@ -292,6 +292,48 @@ func BenchmarkAblationDelaySlotFill(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelBackend measures the parallel per-function back end
+// against the sequential path on the Livermore suite (all 14 kernels
+// merged into one 28-function module). Output is byte-identical at any
+// worker count (see TestSuiteParallelDeterminism); only wall time
+// changes. On a multi-core host, >= 4 workers is expected to run the
+// back end >= 1.5x faster than workers=1. Lowering (front end) runs
+// outside the timer: this measures the back end pipeline only.
+func BenchmarkParallelBackend(b *testing.B) {
+	m, err := targets.Load("r2000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var baseline string
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// The back end mutates the IL in place (glue rewrites),
+				// so each run gets a freshly lowered module.
+				mod, err := livermore.SuiteModule()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				c, err := driver.CompileModule(m, mod, driver.Config{
+					Strategy: strategy.Postpass, Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if asm := c.Prog.Print(); baseline == "" {
+					baseline = asm
+				} else if asm != baseline {
+					b.Fatal("assembly differs from workers=1 baseline")
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
 // BenchmarkSimulator measures raw simulator throughput.
 func BenchmarkSimulator(b *testing.B) {
 	k := livermore.ByID(3) // inner product

@@ -6,6 +6,10 @@
 //
 //	marionc -target r2000 -strategy postpass file.c
 //	marionc -target i860 -strategy ips -stats file.c
+//	marionc -target r2000 -workers 8 file.c
+//
+// -workers bounds the parallel per-function back end (default
+// GOMAXPROCS); the emitted assembly is identical for any worker count.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"marion/internal/core"
 	"marion/internal/strategy"
@@ -20,10 +25,12 @@ import (
 
 func main() {
 	target := flag.String("target", "r2000", "target machine (see -list)")
-	strat := flag.String("strategy", "postpass", "code generation strategy: local, naive, postpass, ips, rase")
+	strat := flag.String("strategy", "postpass",
+		"code generation strategy: "+strings.Join(strategy.KindNames(), ", "))
 	stats := flag.Bool("stats", false, "print per-function back end statistics")
 	list := flag.Bool("list", false, "list available targets and exit")
 	out := flag.String("o", "", "write assembly to file instead of stdout")
+	workers := flag.Int("workers", 0, "parallel back end workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -49,6 +56,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	gen.Workers = *workers
 	res, err := gen.Compile(file, string(src))
 	if err != nil {
 		fatal(err)

@@ -28,6 +28,7 @@ func main() {
 	all := flag.Bool("all", false, "everything")
 	target := flag.String("target", "r2000", "target for tables 3/4 and speedups")
 	loops := flag.Int("loops", 1, "kernel repetition count")
+	workers := flag.Int("workers", 0, "parallel back end workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	ran := false
@@ -64,7 +65,8 @@ func main() {
 		run("table 3", func() error {
 			rows, err := experiments.Table3(
 				[]string{"r2000", "i860"},
-				[]strategy.Kind{strategy.Postpass, strategy.IPS, strategy.RASE})
+				[]strategy.Kind{strategy.Postpass, strategy.IPS, strategy.RASE},
+				*workers)
 			if err != nil {
 				return err
 			}

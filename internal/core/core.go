@@ -42,6 +42,10 @@ type CodeGenerator struct {
 	Machine  *mach.Machine
 	Strategy Strategy
 	Options  strategy.Options
+	// Workers bounds the per-function back end worker pool
+	// (<= 0 means runtime.GOMAXPROCS(0)); any value produces
+	// byte-identical output.
+	Workers int
 }
 
 // New builds a code generator for a shipped target.
@@ -86,7 +90,7 @@ func (g *CodeGenerator) Compile(filename, source string) (*Result, error) {
 // CompileModule compiles an already-lowered IL module.
 func (g *CodeGenerator) CompileModule(mod *ir.Module) (*Result, error) {
 	c, err := driver.CompileModule(g.Machine, mod, driver.Config{
-		Strategy: g.Strategy, Options: g.Options,
+		Strategy: g.Strategy, Options: g.Options, Workers: g.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,21 +1,27 @@
 // Package driver ties Marion's phases into a compiler pipeline:
-// C source -> front end -> IL -> glue transform -> instruction selection
-// -> code generation strategy (scheduling + register allocation) ->
-// target program.
+// C source -> front end -> IL -> back end pipeline (glue transform ->
+// instruction selection -> code generation strategy: scheduling +
+// register allocation) -> target program.
+//
+// The back end runs as an explicit pipeline (internal/pipeline) over
+// the module's functions with a bounded worker pool; results commit in
+// source order, so the emitted assembly is byte-identical whatever the
+// worker count, and per-function failures are accumulated as structured
+// diagnostics instead of aborting at the first error.
 package driver
 
 import (
-	"fmt"
+	"context"
+	"time"
 
 	"marion/internal/asm"
 	"marion/internal/cc"
 	"marion/internal/ilgen"
 	"marion/internal/ir"
 	"marion/internal/mach"
-	"marion/internal/sel"
+	"marion/internal/pipeline"
 	"marion/internal/strategy"
 	"marion/internal/targets"
-	"marion/internal/xform"
 )
 
 // DataBase is the absolute address where globals are laid out.
@@ -26,6 +32,10 @@ type Config struct {
 	Target   string
 	Strategy strategy.Kind
 	Options  strategy.Options
+	// Workers bounds the per-function back end worker pool;
+	// <= 0 means runtime.GOMAXPROCS(0). Output is identical for any
+	// worker count.
+	Workers int
 }
 
 // Compiled is the result of one compilation.
@@ -34,6 +44,10 @@ type Compiled struct {
 	Module  *ir.Module
 	Prog    *asm.Program
 	Stats   map[string]*strategy.Stats
+	// PhaseTimes sums back end wall time per pipeline phase across all
+	// functions (under parallel compilation the sum can exceed the
+	// elapsed wall time).
+	PhaseTimes map[string]time.Duration
 }
 
 // Compile compiles a C translation unit for the configured target.
@@ -55,11 +69,19 @@ func Compile(name, src string, cfg Config) (*Compiled, error) {
 
 // CompileModule runs the back end on an already-lowered module.
 func CompileModule(m *mach.Machine, mod *ir.Module, cfg Config) (*Compiled, error) {
+	return CompileModuleCtx(context.Background(), m, mod, cfg)
+}
+
+// CompileModuleCtx is CompileModule with cancellation. When any
+// function fails, the returned error is a *pipeline.Diagnostics listing
+// every failing function with its phase.
+func CompileModuleCtx(ctx context.Context, m *mach.Machine, mod *ir.Module, cfg Config) (*Compiled, error) {
 	out := &Compiled{
-		Machine: m,
-		Module:  mod,
-		Prog:    &asm.Program{Machine: m, Name: mod.Name},
-		Stats:   map[string]*strategy.Stats{},
+		Machine:    m,
+		Module:     mod,
+		Prog:       &asm.Program{Machine: m, Name: mod.Name},
+		Stats:      map[string]*strategy.Stats{},
+		PhaseTimes: map[string]time.Duration{},
 	}
 
 	// Data layout: globals at absolute addresses from DataBase.
@@ -80,18 +102,21 @@ func CompileModule(m *mach.Machine, mod *ir.Module, cfg Config) (*Compiled, erro
 		out.Prog.Globals = append(out.Prog.Globals, g)
 	}
 
-	for _, fn := range mod.Funcs {
-		xform.Apply(m, fn)
-		af, err := sel.Select(m, fn)
-		if err != nil {
-			return nil, fmt.Errorf("%s: selection: %w", fn.Name, err)
+	p := pipeline.Backend()
+	results, diags := p.Run(ctx, m, mod.Funcs, pipeline.Config{
+		Strategy: cfg.Strategy,
+		Options:  cfg.Options,
+		Workers:  cfg.Workers,
+	})
+	if err := diags.Err(); err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		out.Stats[r.IR.Name] = r.Stats
+		out.Prog.Funcs = append(out.Prog.Funcs, r.Func)
+		for _, pt := range r.Timings {
+			out.PhaseTimes[pt.Phase] += pt.Time
 		}
-		st, err := strategy.Apply(m, af, cfg.Strategy, cfg.Options)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %s strategy: %w", fn.Name, cfg.Strategy, err)
-		}
-		out.Stats[fn.Name] = st
-		out.Prog.Funcs = append(out.Prog.Funcs, af)
 	}
 	return out, nil
 }

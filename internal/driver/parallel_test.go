@@ -1,0 +1,180 @@
+package driver_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"marion/internal/driver"
+	"marion/internal/ir"
+	"marion/internal/livermore"
+	"marion/internal/pipeline"
+	"marion/internal/strategy"
+	"marion/internal/targets"
+)
+
+// parProg exercises every strategy on every target: integer and float
+// arithmetic, loops, calls, globals.
+const parProg = `
+int g;
+double acc;
+
+int addmul(int a, int b) {
+    return a * b + g;
+}
+
+double dscale(double x) {
+    acc = acc + 2.0 * x;
+    return acc;
+}
+
+int sumto(int n) {
+    int s = 0;
+    int i;
+    for (i = 1; i <= n; i++) s += i;
+    return s;
+}
+
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+`
+
+var allKinds = []strategy.Kind{
+	strategy.Naive, strategy.Postpass, strategy.IPS, strategy.RASE, strategy.Local,
+}
+
+// TestParallelDeterminism compiles the same translation unit with 1 and
+// 8 workers across every registered target and strategy, asserting
+// byte-identical assembly and equal per-function statistics: the
+// parallel back end must be unobservable in the output.
+func TestParallelDeterminism(t *testing.T) {
+	for _, target := range targets.Names() {
+		for _, kind := range allKinds {
+			t.Run(fmt.Sprintf("%s/%s", target, kind), func(t *testing.T) {
+				seq, err := driver.Compile("par.c", parProg, driver.Config{
+					Target: target, Strategy: kind, Workers: 1,
+				})
+				if err != nil {
+					t.Fatalf("workers=1: %v", err)
+				}
+				par, err := driver.Compile("par.c", parProg, driver.Config{
+					Target: target, Strategy: kind, Workers: 8,
+				})
+				if err != nil {
+					t.Fatalf("workers=8: %v", err)
+				}
+				if a, b := seq.Prog.Print(), par.Prog.Print(); a != b {
+					t.Errorf("assembly differs between workers=1 and workers=8\n--- seq ---\n%s\n--- par ---\n%s", a, b)
+				}
+				if !reflect.DeepEqual(seq.Stats, par.Stats) {
+					t.Errorf("stats differ:\nseq: %+v\npar: %+v", seq.Stats, par.Stats)
+				}
+			})
+		}
+	}
+}
+
+// TestSuiteParallelDeterminism repeats the check on a large module (all
+// Livermore kernels merged, 28 functions), where worker interleaving is
+// actually exercised.
+func TestSuiteParallelDeterminism(t *testing.T) {
+	compile := func(workers int) string {
+		mod, err := livermore.SuiteModule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := targets.Load("r2000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := driver.CompileModule(m, mod, driver.Config{
+			Strategy: strategy.Postpass, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(c.Prog.Funcs) != len(mod.Funcs) {
+			t.Fatalf("workers=%d: %d functions compiled, want %d", workers, len(c.Prog.Funcs), len(mod.Funcs))
+		}
+		return c.Prog.Print()
+	}
+	seq := compile(1)
+	par := compile(8)
+	if seq != par {
+		t.Error("suite assembly differs between workers=1 and workers=8")
+	}
+}
+
+// brokenModule builds a module whose named functions cannot be selected
+// (a statement no instruction template matches), plus one good one.
+func brokenModule(broken ...string) *ir.Module {
+	mod := &ir.Module{Name: "broken.c"}
+	for _, name := range broken {
+		fn := ir.NewFunc(name, ir.I32)
+		b := fn.NewBlock()
+		b.Stmts = append(b.Stmts,
+			&ir.Node{Op: ir.BadOp, Type: ir.I32},
+			&ir.Node{Op: ir.Ret})
+		fn.Blocks = append(fn.Blocks, b)
+		mod.Funcs = append(mod.Funcs, fn)
+	}
+	good := ir.NewFunc("ok", ir.I32)
+	gb := good.NewBlock()
+	ret := &ir.Node{Op: ir.Ret, Type: ir.I32}
+	ret.Kids = []*ir.Node{ir.NewConst(ir.I32, 7)}
+	gb.Stmts = append(gb.Stmts, ret)
+	good.Blocks = append(good.Blocks, gb)
+	mod.Funcs = append(mod.Funcs, good)
+	return mod
+}
+
+// TestDiagnosticsReportAllFailures checks that a module with two
+// independently broken functions reports BOTH failures in one run, with
+// function and phase attribution, instead of aborting at the first.
+func TestDiagnosticsReportAllFailures(t *testing.T) {
+	m, err := targets.Load("r2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = driver.CompileModule(m, brokenModule("bad1", "bad2"), driver.Config{
+		Strategy: strategy.Postpass,
+	})
+	if err == nil {
+		t.Fatal("expected compilation failure")
+	}
+	var diags *pipeline.Diagnostics
+	if !errors.As(err, &diags) {
+		t.Fatalf("error is %T, want *pipeline.Diagnostics: %v", err, err)
+	}
+	all := diags.All()
+	if len(all) != 2 {
+		t.Fatalf("diagnostics = %d, want 2: %v", len(all), err)
+	}
+	for i, want := range []string{"bad1", "bad2"} {
+		if all[i].Func != want {
+			t.Errorf("diagnostic %d for %q, want %q", i, all[i].Func, want)
+		}
+		if all[i].Phase != "select" {
+			t.Errorf("diagnostic %d phase %q, want %q", i, all[i].Phase, "select")
+		}
+	}
+}
+
+// TestPhaseTimesPopulated checks the per-phase timing sink survives the
+// trip through the pool.
+func TestPhaseTimesPopulated(t *testing.T) {
+	c, err := driver.Compile("par.c", parProg, driver.Config{
+		Target: "r2000", Strategy: strategy.Postpass,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"xform", "select", "strategy"} {
+		if _, ok := c.PhaseTimes[phase]; !ok {
+			t.Errorf("no timing recorded for phase %q (have %v)", phase, c.PhaseTimes)
+		}
+	}
+}

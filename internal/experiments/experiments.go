@@ -101,22 +101,37 @@ type Table3Row struct {
 	Dilation  float64       // executed / generated
 }
 
+// CompileSuite compiles the whole Livermore suite for one target and
+// strategy. workers bounds the parallel per-function back end
+// (<= 0 means GOMAXPROCS); the generated code is identical for any
+// worker count.
+func CompileSuite(target string, kind strategy.Kind, workers int) ([]*driver.Compiled, error) {
+	var out []*driver.Compiled
+	for i := range livermore.Kernels {
+		k := &livermore.Kernels[i]
+		c, err := driver.Compile(fmt.Sprintf("loop%d.c", k.ID), k.Source, driver.Config{
+			Target: target, Strategy: kind, Workers: workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s loop%d: %w", target, kind, k.ID, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
 // Table3 compiles the Livermore suite for each target and strategy,
 // measuring compile time; dilation uses a single loops=1 execution.
-func Table3(targetNames []string, strategies []strategy.Kind) ([]Table3Row, error) {
+// workers is passed to the parallel back end (0 = GOMAXPROCS).
+func Table3(targetNames []string, strategies []strategy.Kind, workers int) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, tn := range targetNames {
 		for _, st := range strategies {
 			row := Table3Row{Target: tn, Strategy: st}
 			start := time.Now()
-			var compiled []*driver.Compiled
-			for i := range livermore.Kernels {
-				k := &livermore.Kernels[i]
-				c, err := livermore.Build(k, tn, st)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s loop%d: %w", tn, st, k.ID, err)
-				}
-				compiled = append(compiled, c)
+			compiled, err := CompileSuite(tn, st, workers)
+			if err != nil {
+				return nil, err
 			}
 			row.Compile = time.Since(start)
 			for ci, c := range compiled {

@@ -1,19 +1,24 @@
 package ilgen
 
 import (
+	"fmt"
+
 	"marion/internal/cc"
 	"marion/internal/ir"
 )
 
-// objAddr returns the (base, offset) address of a memory-resident object.
-func (g *gen) objAddr(o *cc.Obj) (*ir.Node, int64) {
+// objAddr returns the (base, offset) address of a memory-resident
+// object. Asking for the address of a register-resident variable is a
+// lowering bug; it surfaces as an error through Lower rather than a
+// crash.
+func (g *gen) objAddr(o *cc.Obj) (*ir.Node, int64, error) {
 	if s, ok := g.globals[o]; ok {
-		return ir.NewAddr(s), 0
+		return ir.NewAddr(s), 0, nil
 	}
 	if s, ok := g.mems[o]; ok {
-		return &ir.Node{Op: ir.Frame, Type: ir.Ptr}, int64(s.Offset)
+		return &ir.Node{Op: ir.Frame, Type: ir.Ptr}, int64(s.Offset), nil
 	}
-	panic("ilgen: objAddr of register variable " + o.Name)
+	return nil, 0, fmt.Errorf("ilgen: objAddr of register variable %q", o.Name)
 }
 
 // load emits a typed load from base+off.
@@ -37,8 +42,7 @@ func (g *gen) addr(e *cc.Expr) (*ir.Node, int64, error) {
 		if _, ok := g.regs[o]; ok {
 			return nil, 0, g.errf(e.Line, "internal: address of register variable %q", o.Name)
 		}
-		b, off := g.objAddr(o)
-		return b, off, nil
+		return g.objAddr(o)
 
 	case cc.EUnary:
 		if e.Op == cc.TStar {
@@ -142,13 +146,19 @@ func (g *gen) expr(e *cc.Expr) (*ir.Node, error) {
 			return ir.NewReg(o.Type.IR(), r), nil
 		}
 		if o.Type.Kind == cc.KArray {
-			b, off := g.objAddr(o)
+			b, off, err := g.objAddr(o)
+			if err != nil {
+				return nil, err
+			}
 			if off == 0 {
 				return b, nil
 			}
 			return ir.New(ir.Add, ir.Ptr, b, ir.NewConst(ir.I32, off)), nil
 		}
-		b, off := g.objAddr(o)
+		b, off, err := g.objAddr(o)
+		if err != nil {
+			return nil, err
+		}
 		return g.load(b, off, o.Type.IR()), nil
 
 	case cc.EUnary:

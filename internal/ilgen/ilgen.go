@@ -294,7 +294,10 @@ func (g *gen) stmt(s *cc.Stmt) error {
 			g.append(&ir.Node{Op: ir.Asgn, Type: v.Type, Reg: r, Kids: []*ir.Node{v}})
 			return nil
 		}
-		base, off := g.objAddr(s.Decl)
+		base, off, err := g.objAddr(s.Decl)
+		if err != nil {
+			return err
+		}
 		g.store(base, off, v, s.Decl.Type.IR())
 		return nil
 

@@ -1,0 +1,183 @@
+// Package pipeline structures Marion's back end as an explicit,
+// inspectable compilation pipeline: an ordered list of named phases
+// (glue transform, instruction selection, code generation strategy),
+// each with a uniform signature over a per-function context.
+//
+// Because each function's back end is independent, a pipeline runs over
+// a module with a bounded worker pool (per-function parallelism), while
+// results commit in deterministic source order — the emitted assembly
+// is byte-identical whatever the worker count. Failures are collected
+// as structured Diagnostics instead of aborting at the first error, so
+// one run reports every failing function.
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"marion/internal/asm"
+	"marion/internal/ir"
+	"marion/internal/mach"
+	"marion/internal/sel"
+	"marion/internal/strategy"
+	"marion/internal/xform"
+)
+
+// Ctx carries one function through the pipeline. Phases read their
+// inputs from it and write their outputs back into it.
+type Ctx struct {
+	// Context cancels the run: workers stop picking up functions once it
+	// is done, and phases may poll it during long computations.
+	Context context.Context
+
+	Machine *mach.Machine
+	// IR is the lowered function entering the back end.
+	IR *ir.Func
+	// Func is the selected (then scheduled and allocated) target
+	// function; the select phase sets it.
+	Func *asm.Func
+
+	Strategy strategy.Kind
+	Options  strategy.Options
+
+	// Stats is the per-function statistics sink, filled by the strategy
+	// phase.
+	Stats *strategy.Stats
+	// Timings records per-phase wall time, appended by the runner.
+	Timings []PhaseTiming
+}
+
+// PhaseTiming is one phase's wall time for one function.
+type PhaseTiming struct {
+	Phase string
+	Time  time.Duration
+}
+
+// Phase is one named pipeline step with the uniform signature.
+type Phase struct {
+	Name string
+	Run  func(*Ctx) error
+}
+
+// Pipeline is an ordered list of phases applied to each function.
+type Pipeline struct {
+	Phases []Phase
+}
+
+// Backend returns the standard back end pipeline of the paper's driver:
+// glue transform, instruction selection, code generation strategy
+// (scheduling + register allocation + prologue/epilogue).
+func Backend() *Pipeline {
+	return &Pipeline{Phases: []Phase{
+		{Name: "xform", Run: func(c *Ctx) error {
+			xform.Apply(c.Machine, c.IR)
+			return nil
+		}},
+		{Name: "select", Run: func(c *Ctx) error {
+			af, err := sel.Select(c.Machine, c.IR)
+			if err != nil {
+				return err
+			}
+			c.Func = af
+			return nil
+		}},
+		{Name: "strategy", Run: func(c *Ctx) error {
+			st, err := strategy.Apply(c.Machine, c.Func, c.Strategy, c.Options)
+			if err != nil {
+				return err
+			}
+			c.Stats = st
+			return nil
+		}},
+	}}
+}
+
+// Config tunes one pipeline run.
+type Config struct {
+	Strategy strategy.Kind
+	Options  strategy.Options
+	// Workers bounds the per-function worker pool; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Result is one function's compiled output.
+type Result struct {
+	IR      *ir.Func
+	Func    *asm.Func
+	Stats   *strategy.Stats
+	Timings []PhaseTiming
+}
+
+// Run compiles every function through the pipeline with a bounded
+// worker pool. Results are returned indexed by source order regardless
+// of completion order; a function that failed (or was cancelled) has a
+// nil entry, with its error recorded in the returned Diagnostics.
+func (p *Pipeline) Run(ctx context.Context, m *mach.Machine, funcs []*ir.Func, cfg Config) ([]*Result, *Diagnostics) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(funcs) {
+		workers = len(funcs)
+	}
+
+	results := make([]*Result, len(funcs))
+	diags := &Diagnostics{}
+	if len(funcs) == 0 {
+		return results, diags
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = p.runOne(ctx, m, i, funcs[i], cfg, diags)
+			}
+		}()
+	}
+	for i := range funcs {
+		select {
+		case <-ctx.Done():
+			diags.Add(i, funcs[i].Name, "pipeline", ctx.Err())
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return results, diags
+}
+
+// runOne pushes a single function through every phase, timing each.
+// On phase error it records a diagnostic and returns nil.
+func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *ir.Func, cfg Config, diags *Diagnostics) *Result {
+	c := &Ctx{
+		Context:  ctx,
+		Machine:  m,
+		IR:       fn,
+		Strategy: cfg.Strategy,
+		Options:  cfg.Options,
+	}
+	for _, ph := range p.Phases {
+		if err := ctx.Err(); err != nil {
+			diags.Add(index, fn.Name, ph.Name, err)
+			return nil
+		}
+		start := time.Now()
+		err := ph.Run(c)
+		c.Timings = append(c.Timings, PhaseTiming{Phase: ph.Name, Time: time.Since(start)})
+		if err != nil {
+			diags.Add(index, fn.Name, ph.Name, err)
+			return nil
+		}
+	}
+	return &Result{IR: fn, Func: c.Func, Stats: c.Stats, Timings: c.Timings}
+}

@@ -1,0 +1,124 @@
+package pipeline_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"marion/internal/cc"
+	"marion/internal/ilgen"
+	"marion/internal/pipeline"
+	"marion/internal/strategy"
+	"marion/internal/targets"
+)
+
+const twoFuncs = `
+int one() { return 1; }
+int twice(int x) { return x + x; }
+`
+
+func TestBackendPhaseOrder(t *testing.T) {
+	p := pipeline.Backend()
+	want := []string{"xform", "select", "strategy"}
+	if len(p.Phases) != len(want) {
+		t.Fatalf("phases = %d, want %d", len(p.Phases), len(want))
+	}
+	for i, ph := range p.Phases {
+		if ph.Name != want[i] {
+			t.Errorf("phase %d = %q, want %q", i, ph.Name, want[i])
+		}
+	}
+}
+
+func TestRunCompilesAllFunctions(t *testing.T) {
+	m, err := targets.Load("r2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := cc.Compile("two.c", twoFuncs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ilgen.Lower(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, diags := pipeline.Backend().Run(context.Background(), m, mod.Funcs,
+		pipeline.Config{Strategy: strategy.Postpass, Workers: 4})
+	if err := diags.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for i, r := range results {
+		if r == nil || r.Func == nil || r.Stats == nil {
+			t.Fatalf("result %d incomplete: %+v", i, r)
+		}
+		if r.IR != mod.Funcs[i] {
+			t.Errorf("result %d out of source order", i)
+		}
+		if len(r.Timings) != 3 {
+			t.Errorf("result %d timings = %v", i, r.Timings)
+		}
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	m, err := targets.Load("r2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := cc.Compile("two.c", twoFuncs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ilgen.Lower(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, diags := pipeline.Backend().Run(ctx, m, mod.Funcs,
+		pipeline.Config{Strategy: strategy.Postpass})
+	if diags.Empty() {
+		t.Fatal("cancelled run reported no diagnostics")
+	}
+	for i, r := range results {
+		if r != nil {
+			// A worker may have picked the job up before cancellation
+			// propagated; completed work is fine, half-done work is not.
+			if r.Func == nil {
+				t.Errorf("result %d half-finished after cancel", i)
+			}
+		}
+	}
+	if !strings.Contains(diags.Error(), "context canceled") {
+		t.Errorf("diagnostics should mention cancellation: %v", diags.Error())
+	}
+}
+
+func TestDiagnosticsFormatting(t *testing.T) {
+	d := &pipeline.Diagnostics{}
+	if d.Err() != nil {
+		t.Error("empty diagnostics should yield nil error")
+	}
+	d.Add(1, "g", "strategy", errMsg("no registers"))
+	d.Add(0, "f", "select", errMsg("no template"))
+	all := d.All()
+	if all[0].Func != "f" || all[1].Func != "g" {
+		t.Errorf("diagnostics not in source order: %v", all)
+	}
+	msg := d.Err().Error()
+	if !strings.Contains(msg, "f: select: no template") ||
+		!strings.Contains(msg, "g: strategy: no registers") {
+		t.Errorf("message = %q", msg)
+	}
+	if !strings.HasPrefix(msg, "2 functions failed") {
+		t.Errorf("message should lead with the count: %q", msg)
+	}
+}
+
+type errMsg string
+
+func (e errMsg) Error() string { return string(e) }

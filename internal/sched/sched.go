@@ -6,6 +6,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -78,12 +79,15 @@ func LiveOutPseudos(af *asm.Func) map[asm.PseudoID]bool {
 	return out
 }
 
-// Run schedules the block's code DAG without mutating the block.
-func Run(m *mach.Machine, af *asm.Func, b *asm.Block, g *cdag.Graph, opts Options) Result {
+// Run schedules the block's code DAG without mutating the block. A
+// non-nil error means the scheduler deadlocked — a machine description
+// whose constraints admit no schedule (must be impossible for valid
+// descriptions; see the protection pass).
+func Run(m *mach.Machine, af *asm.Func, b *asm.Block, g *cdag.Graph, opts Options) (Result, error) {
 	n := len(g.Nodes)
 	res := Result{}
 	if n == 0 {
-		return res
+		return res, nil
 	}
 	heights := g.Heights()
 
@@ -313,8 +317,11 @@ func Run(m *mach.Machine, af *asm.Func, b *asm.Block, g *cdag.Graph, opts Option
 			return Run(m, af, b, g, seq)
 		}
 		if cycle > 1000000+n {
-			// Runaway guard: dump enough state to diagnose a scheduling
-			// deadlock (must be impossible; see the protection pass).
+			// Runaway guard: report enough state to diagnose a scheduling
+			// deadlock (must be impossible; see the protection pass). A
+			// bad machine description must not crash the compiler, so
+			// this is an error, not a panic; it flows through the phase
+			// error plumbing as a per-function diagnostic.
 			msg := fmt.Sprintf("sched: deadlock at cycle %d, %d of %d unscheduled\n", cycle, remaining, n)
 			for i := 0; i < n; i++ {
 				if !scheduled[i] {
@@ -335,7 +342,7 @@ func Run(m *mach.Machine, af *asm.Func, b *asm.Block, g *cdag.Graph, opts Option
 				}
 				msg += "\n"
 			}
-			panic(msg)
+			return res, errors.New(msg)
 		}
 		placedThisCycle = map[int]bool{}
 		wordClass, wordHasClass = mach.ClassSet{}, false
@@ -498,7 +505,7 @@ func Run(m *mach.Machine, af *asm.Func, b *asm.Block, g *cdag.Graph, opts Option
 		}
 	}
 	res.Cost = lastCycle + 1 + slots
-	return res
+	return res, nil
 }
 
 // worthStalling reports whether an unscheduled instruction that satisfies
@@ -564,17 +571,23 @@ func Apply(m *mach.Machine, b *asm.Block, res Result) {
 
 // Schedule builds the code DAG, runs the list scheduler and commits the
 // result; it returns the block's estimated cycle count.
-func Schedule(m *mach.Machine, af *asm.Func, b *asm.Block, opts Options) int {
+func Schedule(m *mach.Machine, af *asm.Func, b *asm.Block, opts Options) (int, error) {
 	g := cdag.Build(m, b, opts.Dag)
-	res := Run(m, af, b, g, opts)
+	res, err := Run(m, af, b, g, opts)
+	if err != nil {
+		return 0, err
+	}
 	Apply(m, b, res)
-	return res.Cost
+	return res.Cost, nil
 }
 
 // Estimate runs the scheduler without committing, returning the
 // estimated block cost (used by RASE's schedule-cost estimates).
-func Estimate(m *mach.Machine, af *asm.Func, b *asm.Block, opts Options) int {
+func Estimate(m *mach.Machine, af *asm.Func, b *asm.Block, opts Options) (int, error) {
 	g := cdag.Build(m, b, opts.Dag)
-	res := Run(m, af, b, g, opts)
-	return res.Cost
+	res, err := Run(m, af, b, g, opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cost, nil
 }

@@ -86,6 +86,33 @@ func mkPseudos(af *asm.Func, set *mach.RegSet, n int) {
 	}
 }
 
+func mustSchedule(t *testing.T, m *mach.Machine, af *asm.Func, b *asm.Block, opts Options) int {
+	t.Helper()
+	cost, err := Schedule(m, af, b, opts)
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	return cost
+}
+
+func mustRun(t *testing.T, m *mach.Machine, af *asm.Func, b *asm.Block, g *cdag.Graph, opts Options) Result {
+	t.Helper()
+	res, err := Run(m, af, b, g, opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func mustEstimate(t *testing.T, m *mach.Machine, af *asm.Func, b *asm.Block, opts Options) int {
+	t.Helper()
+	cost, err := Estimate(m, af, b, opts)
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	return cost
+}
+
 func TestScheduleFillsLoadDelay(t *testing.T) {
 	m := loadDesc(t, pipeDesc)
 	r := m.RegSet("r")
@@ -98,7 +125,7 @@ func TestScheduleFillsLoadDelay(t *testing.T) {
 		asm.New(add, asm.Reg(2), asm.Reg(3), asm.Reg(3)),
 	)
 	mkPseudos(af, r, 4)
-	cost := Schedule(m, af, b, Options{})
+	cost := mustSchedule(t, m, af, b, Options{})
 	// ld@0, independent add@1 (fills one delay cycle), dependent add@3.
 	if b.Insts[0].Tmpl.Mnemonic != "ld" {
 		t.Fatalf("order: %v", b.Insts)
@@ -129,7 +156,7 @@ func TestScheduleDualIssue(t *testing.T) {
 	af.NewPseudo(r, ir.NoReg)
 	af.NewPseudo(f, ir.NoReg)
 	af.NewPseudo(f, ir.NoReg)
-	cost := Schedule(m, af, b, Options{})
+	cost := mustSchedule(t, m, af, b, Options{})
 	if b.Insts[0].Cycle != 0 || b.Insts[1].Cycle != 0 {
 		t.Errorf("int+fp should dual issue: cycles %d %d", b.Insts[0].Cycle, b.Insts[1].Cycle)
 	}
@@ -148,7 +175,7 @@ func TestScheduleStructuralHazard(t *testing.T) {
 		asm.New(add, asm.Reg(2), asm.Reg(3), asm.Reg(3)),
 	)
 	mkPseudos(af, r, 4)
-	cost := Schedule(m, af, b, Options{})
+	cost := mustSchedule(t, m, af, b, Options{})
 	if b.Insts[0].Cycle == b.Insts[1].Cycle {
 		t.Error("two IEX instructions packed in one cycle")
 	}
@@ -172,7 +199,7 @@ func TestScheduleDelaySlotNop(t *testing.T) {
 	}}
 	af.Blocks = []*asm.Block{b}
 	mkPseudos(af, r, 2)
-	cost := Schedule(m, af, b, Options{})
+	cost := mustSchedule(t, m, af, b, Options{})
 	last := b.Insts[len(b.Insts)-1]
 	if last.Tmpl != m.Nop {
 		t.Fatalf("expected nop in delay slot, got %v", last)
@@ -196,7 +223,7 @@ func TestScheduleMaxDistancePriority(t *testing.T) {
 		asm.New(add, asm.Reg(1), asm.Reg(0), asm.Reg(0)),
 	)
 	mkPseudos(af, r, 6)
-	Schedule(m, af, b, Options{})
+	mustSchedule(t, m, af, b, Options{})
 	if b.Insts[0].Tmpl.Mnemonic != "ld" {
 		t.Errorf("load not hoisted: first = %v", b.Insts[0])
 	}
@@ -208,7 +235,7 @@ func TestScheduleMaxDistancePriority(t *testing.T) {
 		asm.New(add, asm.Reg(1), asm.Reg(0), asm.Reg(0)),
 	)
 	mkPseudos(af2, r, 6)
-	Schedule(m, af2, b2, Options{FIFO: true})
+	mustSchedule(t, m, af2, b2, Options{FIFO: true})
 	if b2.Insts[0].Tmpl.Mnemonic != "add" {
 		t.Errorf("FIFO should keep thread order: first = %v", b2.Insts[0])
 	}
@@ -266,12 +293,12 @@ func TestScheduleRegisterPressureLimit(t *testing.T) {
 	}
 
 	af1, b1 := mk()
-	Schedule(m, af1, b1, Options{})
+	mustSchedule(t, m, af1, b1, Options{})
 	free := maxLive(b1, af1)
 
 	af2, b2 := mk()
 	lim := map[*mach.RegSet]int{r: 2}
-	Schedule(m, af2, b2, Options{MaxLive: lim, LiveOut: LiveOutPseudos(af2)})
+	mustSchedule(t, m, af2, b2, Options{MaxLive: lim, LiveOut: LiveOutPseudos(af2)})
 	limited := maxLive(b2, af2)
 
 	if free < 3 {
@@ -302,7 +329,7 @@ func TestTemporalPipelineOverlap(t *testing.T) {
 		asm.New(FWB, asm.Reg(5)),
 	)
 	mkPseudos(af, f, 6)
-	cost := Schedule(m, af, b, Options{})
+	cost := mustSchedule(t, m, af, b, Options{})
 	if cost > 5 {
 		t.Errorf("EAP overlap failed: cost %d, want <= 5", cost)
 		for _, in := range b.Insts {
@@ -356,7 +383,7 @@ func TestFigure6DeadlockProtection(t *testing.T) {
 		t.Fatalf("protection edge p->q missing; succs of p: %+v", g.Nodes[1].Succs)
 	}
 	// And the schedule must complete with p before q.
-	res := Run(m, af, b, g, Options{})
+	res := mustRun(t, m, af, b, g, Options{})
 	if len(res.Order) != 3 {
 		t.Fatalf("schedule incomplete: %v", res.Order)
 	}
@@ -381,8 +408,8 @@ func TestScheduleCurrentCycleOnly(t *testing.T) {
 		asm.New(ld, asm.Reg(1), asm.Phys(r.Phys(6)), asm.Imm(8)),
 	)
 	mkPseudos(af, r, 2)
-	full := Estimate(m, af, b, Options{})
-	cur := Estimate(m, af, b, Options{CurrentCycleOnly: true})
+	full := mustEstimate(t, m, af, b, Options{})
+	cur := mustEstimate(t, m, af, b, Options{CurrentCycleOnly: true})
 	if cur > full {
 		t.Errorf("current-cycle-only should be no more conservative: %d vs %d", cur, full)
 	}

@@ -25,7 +25,7 @@ func TestFillDelaySlots(t *testing.T) {
 	}}
 	af.Blocks = []*asm.Block{b}
 	mkPseudos(af, r, 5)
-	Schedule(m, af, b, Options{})
+	mustSchedule(t, m, af, b, Options{})
 	// After scheduling: [add, add, beq, nop]; t0's add is independent of
 	// the branch and safe to move into the slot.
 	before := len(b.Insts)
@@ -66,7 +66,7 @@ func TestFillDelaySlotsRespectsDependences(t *testing.T) {
 	}}
 	af.Blocks = []*asm.Block{b}
 	mkPseudos(af, r, 2)
-	Schedule(m, af, b, Options{})
+	mustSchedule(t, m, af, b, Options{})
 	if filled := FillDelaySlots(m, af); filled != 0 {
 		t.Errorf("filled the slot with the condition producer (filled=%d)", filled)
 	}

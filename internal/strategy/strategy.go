@@ -19,6 +19,8 @@ package strategy
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"marion/internal/asm"
 	"marion/internal/ir"
@@ -48,6 +50,21 @@ var kindNames = map[Kind]string{
 
 func (k Kind) String() string { return kindNames[k] }
 
+// KindNames lists every strategy name in Kind order (the accepted
+// inputs of ParseKind).
+func KindNames() []string {
+	kinds := make([]Kind, 0, len(kindNames))
+	for k := range kindNames {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(a, b int) bool { return kinds[a] < kinds[b] })
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = kindNames[k]
+	}
+	return names
+}
+
 // ParseKind converts a strategy name.
 func ParseKind(s string) (Kind, error) {
 	for k, n := range kindNames {
@@ -55,7 +72,9 @@ func ParseKind(s string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown strategy %q (want naive, postpass, ips or rase)", s)
+	// The accepted list is derived from kindNames so it cannot drift
+	// from the registered strategies.
+	return 0, fmt.Errorf("unknown strategy %q (want %s)", s, strings.Join(KindNames(), ", "))
 }
 
 // Stats reports what the strategy did to one function.
@@ -104,13 +123,17 @@ func Apply(m *mach.Machine, af *asm.Func, kind Kind, opts Options) (*Stats, erro
 		}
 		o := opts.Sched
 		o.FIFO = true
-		scheduleAll(m, af, st, o)
+		if err := scheduleAll(m, af, st, o); err != nil {
+			return nil, err
+		}
 
 	case Postpass:
 		if _, err := allocate(m, af, st); err != nil {
 			return nil, err
 		}
-		scheduleAll(m, af, st, opts.Sched)
+		if err := scheduleAll(m, af, st, opts.Sched); err != nil {
+			return nil, err
+		}
 
 	case IPS:
 		// Prepass: schedule with a limit on local register use.
@@ -127,11 +150,15 @@ func Apply(m *mach.Machine, af *asm.Func, kind Kind, opts Options) (*Stats, erro
 		pre := opts.Sched
 		pre.MaxLive = limit
 		pre.LiveOut = sched.LiveOutPseudos(af)
-		scheduleAllPrepass(m, af, st, pre)
+		if err := scheduleAllPrepass(m, af, st, pre); err != nil {
+			return nil, err
+		}
 		if _, err := allocate(m, af, st); err != nil {
 			return nil, err
 		}
-		scheduleAll(m, af, st, opts.Sched)
+		if err := scheduleAll(m, af, st, opts.Sched); err != nil {
+			return nil, err
+		}
 
 	case RASE:
 		if err := raseEstimates(m, af, st, opts); err != nil {
@@ -140,7 +167,9 @@ func Apply(m *mach.Machine, af *asm.Func, kind Kind, opts Options) (*Stats, erro
 		if _, err := allocate(m, af, st); err != nil {
 			return nil, err
 		}
-		scheduleAll(m, af, st, opts.Sched)
+		if err := scheduleAll(m, af, st, opts.Sched); err != nil {
+			return nil, err
+		}
 	}
 
 	if opts.FillDelaySlots {
@@ -187,14 +216,19 @@ func elideMoves(af *asm.Func) {
 }
 
 // scheduleAll schedules every block and records the summed estimate.
-func scheduleAll(m *mach.Machine, af *asm.Func, st *Stats, opts sched.Options) {
+func scheduleAll(m *mach.Machine, af *asm.Func, st *Stats, opts sched.Options) error {
 	total := 0
 	for _, b := range af.Blocks {
 		stripNops(m, b)
-		total += sched.Schedule(m, af, b, opts)
+		c, err := sched.Schedule(m, af, b, opts)
+		if err != nil {
+			return err
+		}
+		total += c
 		st.SchedulePasses++
 	}
 	st.EstimatedCycles = total
+	return nil
 }
 
 // scheduleAllPrepass is scheduleAll for PRE-allocation passes, with one
@@ -205,7 +239,7 @@ func scheduleAll(m *mach.Machine, af *asm.Func, st *Stats, opts sched.Options) {
 // interleaving unschedulable under Rule 1. The post-allocation pass,
 // which starts from sequence-contiguous order, performs the temporal
 // overlap instead (as Postpass does).
-func scheduleAllPrepass(m *mach.Machine, af *asm.Func, st *Stats, opts sched.Options) {
+func scheduleAllPrepass(m *mach.Machine, af *asm.Func, st *Stats, opts sched.Options) error {
 	total := 0
 	for _, b := range af.Blocks {
 		stripNops(m, b)
@@ -216,10 +250,15 @@ func scheduleAllPrepass(m *mach.Machine, af *asm.Func, st *Stats, opts sched.Opt
 			o.Sequential = true
 			o.MaxLive = nil
 		}
-		total += sched.Schedule(m, af, b, o)
+		c, err := sched.Schedule(m, af, b, o)
+		if err != nil {
+			return err
+		}
+		total += c
 		st.SchedulePasses++
 	}
 	st.EstimatedCycles = total
+	return nil
 }
 
 func blockHasTemporal(b *asm.Block) bool {
@@ -273,7 +312,10 @@ func raseEstimates(m *mach.Machine, af *asm.Func, st *Stats, opts Options) error
 
 	liveOut := sched.LiveOutPseudos(af)
 	for _, b := range af.Blocks {
-		free := sched.Estimate(m, af, b, opts.Sched)
+		free, err := sched.Estimate(m, af, b, opts.Sched)
+		if err != nil {
+			return err
+		}
 		st.SchedulePasses++
 
 		tight := opts.Sched
@@ -284,7 +326,10 @@ func raseEstimates(m *mach.Machine, af *asm.Func, st *Stats, opts Options) error
 			}
 		}
 		tight.LiveOut = liveOut
-		constrained := sched.Estimate(m, af, b, tight)
+		constrained, err := sched.Estimate(m, af, b, tight)
+		if err != nil {
+			return err
+		}
 		st.SchedulePasses++
 
 		penalty := float64(constrained-free) + 1

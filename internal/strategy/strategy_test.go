@@ -1,6 +1,8 @@
 package strategy
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"marion/internal/asm"
@@ -48,6 +50,17 @@ func TestParseKind(t *testing.T) {
 	}
 	if _, err := ParseKind("bogus"); err == nil {
 		t.Error("expected error")
+	} else {
+		// The message must name every registered kind.
+		for _, name := range KindNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("ParseKind error %q does not mention %q", err, name)
+			}
+		}
+	}
+	want := []string{"naive", "postpass", "ips", "rase", "local"}
+	if got := KindNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("KindNames() = %v, want %v", got, want)
 	}
 }
 
