@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench ci
+.PHONY: build test vet race bench benchsmoke ci
 
 build:
 	$(GO) build ./...
@@ -22,4 +22,10 @@ race:
 bench:
 	$(GO) test -bench . -benchmem
 
-ci: build vet test race
+# One-iteration benchmark pass: keeps BenchmarkSelect /
+# BenchmarkParallelBackend and friends compiling and running under CI
+# without paying for real measurement.
+benchsmoke:
+	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
+ci: build vet test race benchsmoke

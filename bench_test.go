@@ -15,9 +15,11 @@ import (
 	"marion/internal/livermore"
 	"marion/internal/maril"
 	"marion/internal/sched"
+	"marion/internal/sel"
 	"marion/internal/sim"
 	"marion/internal/strategy"
 	"marion/internal/targets"
+	"marion/internal/xform"
 )
 
 // BenchmarkTable1Descriptions measures the code generator generator: the
@@ -331,6 +333,49 @@ func BenchmarkParallelBackend(b *testing.B) {
 				b.StartTimer()
 			}
 		})
+	}
+}
+
+// BenchmarkSelect measures instruction selection alone over the full
+// Livermore suite (28 functions), comparing the operator-indexed +
+// memoized fast path against the linear brute-force reference scan.
+// Lowering and the glue transform run outside the timer, and selection
+// does not mutate the IL, so each iteration selects the same functions.
+// The emitted code is byte-identical between the two variants (see
+// TestIndexedSelectionIdentical); only the matching work differs.
+func BenchmarkSelect(b *testing.B) {
+	for _, target := range []string{"r2000", "m88000", "i860"} {
+		m, err := targets.Load(target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mod, err := livermore.SuiteModule()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, fn := range mod.Funcs {
+			xform.Apply(m, fn)
+		}
+		for _, linear := range []bool{false, true} {
+			name := target + "/indexed"
+			if linear {
+				name = target + "/linear"
+			}
+			b.Run(name, func(b *testing.B) {
+				var tried int64
+				for i := 0; i < b.N; i++ {
+					tried = 0
+					for _, fn := range mod.Funcs {
+						_, counters, err := sel.SelectOpts(m, fn, sel.Options{Linear: linear})
+						if err != nil {
+							b.Fatal(err)
+						}
+						tried += counters.Tried
+					}
+				}
+				b.ReportMetric(float64(tried), "templates-tried")
+			})
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"marion/internal/ir"
 	"marion/internal/mach"
 	"marion/internal/pipeline"
+	"marion/internal/sel"
 	"marion/internal/strategy"
 	"marion/internal/targets"
 )
@@ -32,6 +33,9 @@ type Config struct {
 	Target   string
 	Strategy strategy.Kind
 	Options  strategy.Options
+	// LinearSelect disables the selection template index and memo
+	// caches (the brute-force reference path; see sel.Options.Linear).
+	LinearSelect bool
 	// Workers bounds the per-function back end worker pool;
 	// <= 0 means runtime.GOMAXPROCS(0). Output is identical for any
 	// worker count.
@@ -48,6 +52,9 @@ type Compiled struct {
 	// functions (under parallel compilation the sum can exceed the
 	// elapsed wall time).
 	PhaseTimes map[string]time.Duration
+	// Sel sums the selection work counters across all functions
+	// (summed in deterministic source order).
+	Sel sel.Counters
 }
 
 // Compile compiles a C translation unit for the configured target.
@@ -104,9 +111,10 @@ func CompileModuleCtx(ctx context.Context, m *mach.Machine, mod *ir.Module, cfg 
 
 	p := pipeline.Backend()
 	results, diags := p.Run(ctx, m, mod.Funcs, pipeline.Config{
-		Strategy: cfg.Strategy,
-		Options:  cfg.Options,
-		Workers:  cfg.Workers,
+		Strategy:     cfg.Strategy,
+		Options:      cfg.Options,
+		LinearSelect: cfg.LinearSelect,
+		Workers:      cfg.Workers,
 	})
 	if err := diags.Err(); err != nil {
 		return nil, err
@@ -114,6 +122,7 @@ func CompileModuleCtx(ctx context.Context, m *mach.Machine, mod *ir.Module, cfg 
 	for _, r := range results {
 		out.Stats[r.IR.Name] = r.Stats
 		out.Prog.Funcs = append(out.Prog.Funcs, r.Func)
+		out.Sel.Add(r.Sel)
 		for _, pt := range r.Timings {
 			out.PhaseTimes[pt.Phase] += pt.Time
 		}

@@ -196,6 +196,10 @@ func (m *Machine) Finalize() error {
 		m.Nop = nop
 	}
 
+	// Selection fast path: bucket the templates by matchable root
+	// operator so the selector only iterates plausible candidates.
+	m.buildSelIndex()
+
 	return m.validate()
 }
 

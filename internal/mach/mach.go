@@ -429,6 +429,7 @@ type Machine struct {
 	// Derived tables:
 	NumPhys  int
 	aliasTab [][]PhysID // per PhysID: overlapping PhysIDs (incl. self)
+	selIdx   *SelIndex  // operator-indexed template tables (selindex.go)
 
 	regSetByName map[string]*RegSet
 	resByName    map[string]ResID

@@ -41,10 +41,15 @@ type Ctx struct {
 
 	Strategy strategy.Kind
 	Options  strategy.Options
+	// LinearSelect disables the selection template index and memo
+	// caches (sel.Options.Linear): the reference brute-force path.
+	LinearSelect bool
 
 	// Stats is the per-function statistics sink, filled by the strategy
 	// phase.
 	Stats *strategy.Stats
+	// Sel counts the selection phase's pattern-matching work.
+	Sel sel.Counters
 	// Timings records per-phase wall time, appended by the runner.
 	Timings []PhaseTiming
 }
@@ -76,7 +81,8 @@ func Backend() *Pipeline {
 			return nil
 		}},
 		{Name: "select", Run: func(c *Ctx) error {
-			af, err := sel.Select(c.Machine, c.IR)
+			af, counters, err := sel.SelectOpts(c.Machine, c.IR, sel.Options{Linear: c.LinearSelect})
+			c.Sel = counters
 			if err != nil {
 				return err
 			}
@@ -98,6 +104,9 @@ func Backend() *Pipeline {
 type Config struct {
 	Strategy strategy.Kind
 	Options  strategy.Options
+	// LinearSelect selects the unindexed, unmemoized selection
+	// reference path (see sel.Options.Linear).
+	LinearSelect bool
 	// Workers bounds the per-function worker pool; <= 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
@@ -108,6 +117,7 @@ type Result struct {
 	IR      *ir.Func
 	Func    *asm.Func
 	Stats   *strategy.Stats
+	Sel     sel.Counters
 	Timings []PhaseTiming
 }
 
@@ -160,11 +170,12 @@ func (p *Pipeline) Run(ctx context.Context, m *mach.Machine, funcs []*ir.Func, c
 // On phase error it records a diagnostic and returns nil.
 func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *ir.Func, cfg Config, diags *Diagnostics) *Result {
 	c := &Ctx{
-		Context:  ctx,
-		Machine:  m,
-		IR:       fn,
-		Strategy: cfg.Strategy,
-		Options:  cfg.Options,
+		Context:      ctx,
+		Machine:      m,
+		IR:           fn,
+		Strategy:     cfg.Strategy,
+		Options:      cfg.Options,
+		LinearSelect: cfg.LinearSelect,
 	}
 	for _, ph := range p.Phases {
 		if err := ctx.Err(); err != nil {
@@ -179,5 +190,5 @@ func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *i
 			return nil
 		}
 	}
-	return &Result{IR: fn, Func: c.Func, Stats: c.Stats, Timings: c.Timings}
+	return &Result{IR: fn, Func: c.Func, Stats: c.Stats, Sel: c.Sel, Timings: c.Timings}
 }

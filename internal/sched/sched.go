@@ -303,7 +303,6 @@ func Run(m *mach.Machine, af *asm.Func, b *asm.Block, g *cdag.Graph, opts Option
 
 	remaining := n
 	cycle := 0
-	lastCycle := 0
 	lastProgress := 0
 	for remaining > 0 {
 		// Greedy list scheduling with Rule 1 can wedge on code whose
@@ -487,24 +486,35 @@ func Run(m *mach.Machine, af *asm.Func, b *asm.Block, g *cdag.Graph, opts Option
 			delete(newPending, k)
 		}
 	}
-	for _, c := range res.Cycles {
-		if c > lastCycle {
-			lastCycle = c
+	// Block cost: issue cycles plus the delay-slot nops Apply will
+	// insert after EVERY control transfer (§4.4) — not just a transfer
+	// placed last. Replay Apply's shift arithmetic over the placements
+	// (cycles are nondecreasing along res.Order, so iterating in
+	// placement order visits them in issue order, exactly as Apply's
+	// stable sort does) so that the estimate equals the post-Apply
+	// SchedCost even for blocks with mid-block calls.
+	cost := 0
+	shift := 0
+	for k, i := range res.Order {
+		t := g.Nodes[i].Inst.Tmpl
+		c := res.Cycles[k] + shift
+		if c > cost {
+			cost = c
+		}
+		if t.Transfers() {
+			slots := t.Slots
+			if slots < 0 {
+				slots = -slots
+			}
+			if slots > 0 {
+				if c+slots > cost {
+					cost = c + slots
+				}
+				shift += slots
+			}
 		}
 	}
-
-	// Block cost: issue cycles plus branch delay slots (always filled
-	// with nops, §4.4).
-	slots := 0
-	if len(res.Order) > 0 {
-		last := g.Nodes[res.Order[len(res.Order)-1]].Inst
-		if s := last.Tmpl.Slots; s > 0 {
-			slots = s
-		} else if s < 0 {
-			slots = -s
-		}
-	}
-	res.Cost = lastCycle + 1 + slots
+	res.Cost = cost + 1
 	return res, nil
 }
 

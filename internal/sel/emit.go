@@ -10,7 +10,14 @@ import (
 
 // selectStore matches store templates against a Store statement.
 func (s *selector) selectStore(n *ir.Node) error {
-	for _, tmpl := range s.m.Instrs {
+	tmpls := s.m.Instrs
+	if !s.linear {
+		if ts, ok := s.m.StoreTmpls(); ok {
+			tmpls = ts
+		}
+	}
+	for _, tmpl := range tmpls {
+		s.counters.Tried++
 		if tmpl.Sem.Kind != mach.SemAssign || tmpl.Sem.Kids[0].Kind != mach.SemMem {
 			continue
 		}
@@ -46,7 +53,14 @@ func (s *selector) selectStore(n *ir.Node) error {
 
 // selectBranch matches conditional-branch templates.
 func (s *selector) selectBranch(n *ir.Node) error {
-	for _, tmpl := range s.m.Instrs {
+	tmpls := s.m.Instrs
+	if !s.linear {
+		if ts, ok := s.m.BranchTmpls(); ok {
+			tmpls = ts
+		}
+	}
+	for _, tmpl := range tmpls {
+		s.counters.Tried++
 		if !tmpl.IsBranch {
 			continue
 		}
@@ -194,7 +208,7 @@ func (s *selector) selectCall(n *ir.Node) (asm.Operand, error) {
 		if err := s.move(out, asm.Phys(res.Phys())); err != nil {
 			return asm.Operand{}, err
 		}
-		s.selected[n] = out
+		s.noteSelected(n, out)
 		return out, nil
 	}
 	return asm.Operand{}, nil

@@ -3,6 +3,18 @@
 // instruction templates in order, selecting the first that matches
 // (paper §2.1). It creates pseudo-registers for expression temporaries
 // and expands %seq sequences and *func escapes.
+//
+// Two layers accelerate the paper's literal brute force without
+// changing its result: the machine's operator-indexed template tables
+// (mach.SelIndex, built once per machine at Finalize time) restrict
+// every matching loop to templates whose root can possibly match the
+// node, and per-selector memo caches collapse the
+// bindsSelectable → canSelect → bindsSelectable feasibility recursion
+// that is otherwise exponential on deep expression trees. Both layers
+// preserve description order within each candidate list, so first-match
+// semantics — and the emitted assembly — are identical to a linear
+// scan; Options.Linear re-enables the unindexed, unmemoized reference
+// path for tests and benchmarks.
 package sel
 
 import (
@@ -13,22 +25,58 @@ import (
 	"marion/internal/mach"
 )
 
+// Options tune one selection run.
+type Options struct {
+	// Linear disables the operator-indexed template tables and the
+	// feasibility memo caches: every lookup scans Machine.Instrs in
+	// description order, the paper's literal brute force. The emitted
+	// code is byte-identical to the indexed path; only the amount of
+	// matching work differs.
+	Linear bool
+}
+
+// Counters reports how much pattern-matching work a selection run did.
+type Counters struct {
+	// Tried counts template candidates examined across match,
+	// canSelect, canSelectInto, selectStore and selectBranch.
+	Tried int64
+	// MemoHits / MemoMisses count feasibility queries served from and
+	// added to the canSelect/canSelectInto memo caches.
+	MemoHits   int64
+	MemoMisses int64
+}
+
+// Add accumulates another run's counters into c.
+func (c *Counters) Add(o Counters) {
+	c.Tried += o.Tried
+	c.MemoHits += o.MemoHits
+	c.MemoMisses += o.MemoMisses
+}
+
 // Select lowers an IL function to target instructions with
 // pseudo-registers. The IL must already be glue-transformed.
 func Select(m *mach.Machine, fn *ir.Func) (*asm.Func, error) {
+	af, _, err := SelectOpts(m, fn, Options{})
+	return af, err
+}
+
+// SelectOpts is Select with tuning options, also returning the
+// selection work counters.
+func SelectOpts(m *mach.Machine, fn *ir.Func, opts Options) (*asm.Func, Counters, error) {
 	s := &selector{
 		m:        m,
 		irFn:     fn,
 		af:       &asm.Func{Name: fn.Name, IR: fn},
 		selected: map[*ir.Node]asm.Operand{},
 		irPseudo: map[ir.RegID]asm.PseudoID{},
+		linear:   opts.Linear || !m.SelIndexed(),
 	}
 	// Bind parameters to pseudo-registers up front so the entry moves
 	// (inserted by the strategy) target the right pseudos.
 	for _, r := range fn.ParamRegs {
 		if r != ir.NoReg {
 			if _, err := s.pseudoFor(r); err != nil {
-				return nil, err
+				return nil, s.counters, err
 			}
 		}
 	}
@@ -37,13 +85,21 @@ func Select(m *mach.Machine, fn *ir.Func) (*asm.Func, error) {
 		s.af.Blocks = append(s.af.Blocks, ab)
 		s.cur = ab
 		s.selected = map[*ir.Node]asm.Operand{}
+		s.canSel, s.canSelInto = nil, nil
 		for _, stmt := range b.Stmts {
 			if err := s.stmt(stmt); err != nil {
-				return nil, fmt.Errorf("%s: %w", fn.Name, err)
+				return nil, s.counters, fmt.Errorf("%s: %w", fn.Name, err)
 			}
 		}
 	}
-	return s.af, nil
+	return s.af, s.counters, nil
+}
+
+// intoKey keys the canSelectInto memo: a node and the fixed register it
+// must land in.
+type intoKey struct {
+	n    *ir.Node
+	phys mach.PhysID
 }
 
 type selector struct {
@@ -53,9 +109,42 @@ type selector struct {
 	cur      *asm.Block
 	selected map[*ir.Node]asm.Operand // per-block: values already in registers
 	irPseudo map[ir.RegID]asm.PseudoID
+
+	// linear selects the unindexed, unmemoized reference path.
+	linear   bool
+	counters Counters
+
+	// Feasibility memos. Both caches are pure functions of the machine
+	// tables and s.selected, so they stay valid exactly until selected
+	// gains an entry (noteSelected) or is reset for a new block.
+	canSel     map[*ir.Node]bool
+	canSelInto map[intoKey]bool
 }
 
 func (s *selector) emit(in *asm.Inst) { s.cur.Insts = append(s.cur.Insts, in) }
+
+// noteSelected caches the operand of a selected node and drops the
+// feasibility memos: a new entry can flip canSelect (a call result
+// becomes available) and canSelectInto (a value now pinned to a pseudo
+// can no longer be produced in a fixed register) in either direction.
+func (s *selector) noteSelected(n *ir.Node, op asm.Operand) {
+	s.selected[n] = op
+	s.canSel, s.canSelInto = nil, nil
+}
+
+// valueTmpls returns the candidate templates for matching value node n:
+// the machine's operator bucket, or all instructions on the linear
+// reference path. Either way the existing per-template guards re-check
+// every condition, so pruning can only skip templates that would have
+// been rejected.
+func (s *selector) valueTmpls(n *ir.Node) []*mach.Instr {
+	if !s.linear {
+		if ts, ok := s.m.ValueTmpls(n.Op); ok {
+			return ts
+		}
+	}
+	return s.m.Instrs
+}
 
 // weight is the spill-cost increment for a reference at the current
 // block's loop depth.
@@ -163,8 +252,13 @@ func (s *selector) stmt(n *ir.Node) error {
 // selectInto materializes the value of n in the destination register
 // operand dst.
 func (s *selector) selectInto(n *ir.Node, dst asm.Operand) error {
-	// Value already available (CSE or register leaf): move.
+	// Value already available (CSE or register leaf): move. The reuse
+	// is a reference like any other, so it contributes spill cost (as
+	// the equivalent path in value does) — without it, CSE reached
+	// through assignment destinations undercounts and skews
+	// Chaitin/Briggs spill choices.
 	if op, ok := s.selected[n]; ok {
+		s.addCost(op)
 		return s.move(dst, op)
 	}
 	switch n.Op {
@@ -230,7 +324,7 @@ func (s *selector) value(n *ir.Node) (asm.Operand, error) {
 // parent, and re-reading them is always safe.
 func (s *selector) remember(n *ir.Node, op asm.Operand) {
 	if n.Parents > 1 || n.Op == ir.Call || n.Op == ir.Addr || n.Op == ir.Const {
-		s.selected[n] = op
+		s.noteSelected(n, op)
 	}
 }
 
@@ -255,10 +349,12 @@ type binding struct {
 	hasOp bool
 }
 
-// match tries every instruction template in description order against
-// value node n; dst, when non-nil, requests the result in that operand.
+// match tries every plausible instruction template in description order
+// against value node n; dst, when non-nil, requests the result in that
+// operand.
 func (s *selector) match(n *ir.Node, dst *asm.Operand) (asm.Operand, error) {
-	for _, tmpl := range s.m.Instrs {
+	for _, tmpl := range s.valueTmpls(n) {
+		s.counters.Tried++
 		if tmpl.Sem.Kind != mach.SemAssign {
 			continue
 		}
@@ -339,7 +435,7 @@ func (s *selector) bindsSelectable(tmpl *mach.Instr, binds []binding) bool {
 			}
 			continue
 		}
-		if !s.canSelect(b.node) {
+		if !s.canSelect(b.node, spec.Set) {
 			return false
 		}
 	}
@@ -347,12 +443,39 @@ func (s *selector) bindsSelectable(tmpl *mach.Instr, binds []binding) bool {
 }
 
 // canSelectInto reports whether n can be produced in the specific
-// physical register phys.
+// physical register phys. Results are memoized per (node, register)
+// until s.selected changes.
 func (s *selector) canSelectInto(n *ir.Node, phys mach.PhysID) bool {
 	if op, ok := s.selected[n]; ok {
 		return op.Kind == asm.OpPhys && op.Phys == phys
 	}
-	for _, tmpl := range s.m.Instrs {
+	if s.linear {
+		return s.canSelectIntoSlow(n, phys)
+	}
+	k := intoKey{n, phys}
+	if v, ok := s.canSelInto[k]; ok {
+		s.counters.MemoHits++
+		return v
+	}
+	s.counters.MemoMisses++
+	v := s.canSelectIntoSlow(n, phys)
+	if s.canSelInto == nil {
+		s.canSelInto = map[intoKey]bool{}
+	}
+	s.canSelInto[k] = v
+	return v
+}
+
+// canSelectIntoSlow is the uncached template scan behind canSelectInto.
+func (s *selector) canSelectIntoSlow(n *ir.Node, phys mach.PhysID) bool {
+	tmpls := s.m.Instrs
+	if !s.linear {
+		if ts, ok := s.m.ValueFixedTmpls(n.Op, phys); ok {
+			tmpls = ts
+		}
+	}
+	for _, tmpl := range tmpls {
+		s.counters.Tried++
 		if tmpl.Sem.Kind != mach.SemAssign {
 			continue
 		}
@@ -372,6 +495,15 @@ func (s *selector) canSelectInto(n *ir.Node, phys mach.PhysID) bool {
 		if dstSpec.Kind != mach.OperandFixedReg || dstSpec.Phys() != phys {
 			continue
 		}
+		// Untyped loads carry the same width/float guard match applies;
+		// match additionally requires a settable (OperandReg)
+		// destination for them, so a fixed-register candidate can never
+		// emit and must not be approved here either.
+		if n.Op == ir.Load && tmpl.TypeConstraint == ir.Void {
+			if dstSpec.Kind != mach.OperandReg || n.Type.Size() != dstSpec.Set.Size || n.Type.IsFloat() {
+				continue
+			}
+		}
 		binds := make([]binding, len(tmpl.Operands))
 		if !s.matchSem(tmpl.Sem.Kids[1], n, tmpl, binds) {
 			continue
@@ -383,9 +515,15 @@ func (s *selector) canSelectInto(n *ir.Node, phys mach.PhysID) bool {
 	return false
 }
 
-// canSelect reports whether some pattern chain can produce the value of n
-// in a register, without emitting anything.
-func (s *selector) canSelect(n *ir.Node) bool {
+// canSelect reports whether some pattern chain can produce the value of
+// n in a register, without emitting anything. want is the register set
+// of the operand requesting the value (nil when unconstrained): a
+// constant counts as selectable through a hard-wired register only when
+// that register belongs to the wanted set — the same condition
+// matchSem/hardPhys enforce when the binding is emitted, so feasibility
+// can never approve a template whose emission then fails. Template-scan
+// results are memoized per node until s.selected changes.
+func (s *selector) canSelect(n *ir.Node, want *mach.RegSet) bool {
 	if _, ok := s.selected[n]; ok {
 		return true
 	}
@@ -395,14 +533,39 @@ func (s *selector) canSelect(n *ir.Node) bool {
 	case ir.Call:
 		return false // must already be in the selected map
 	}
-	if n.Op == ir.Const && n.Type.IsInt() {
-		for _, h := range s.m.Cwvm.Hard {
-			if h.Value == n.IVal {
-				return true
-			}
+	if n.Op == ir.Const && n.Type.IsInt() && want != nil {
+		if _, ok := s.hardPhys(want, n.IVal); ok {
+			return true
 		}
 	}
-	for _, tmpl := range s.m.Instrs {
+	if s.linear {
+		return s.canSelectSlow(n)
+	}
+	if v, ok := s.canSel[n]; ok {
+		s.counters.MemoHits++
+		return v
+	}
+	s.counters.MemoMisses++
+	v := s.canSelectSlow(n)
+	if s.canSel == nil {
+		s.canSel = map[*ir.Node]bool{}
+	}
+	s.canSel[n] = v
+	return v
+}
+
+// canSelectSlow is the uncached template scan behind canSelect. It does
+// not depend on the requesting set: the scan mirrors match, whose
+// result a parent coerces into the wanted set afterwards.
+func (s *selector) canSelectSlow(n *ir.Node) bool {
+	tmpls := s.m.Instrs
+	if !s.linear {
+		if ts, ok := s.m.ValueRegTmpls(n.Op); ok {
+			tmpls = ts
+		}
+	}
+	for _, tmpl := range tmpls {
+		s.counters.Tried++
 		if tmpl.Sem.Kind != mach.SemAssign {
 			continue
 		}
