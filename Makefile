@@ -4,7 +4,10 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench benchsmoke ci
+.PHONY: build test vet race bench benchsmoke verify-all ci
+
+TARGETS    := r2000 r2000s m88000 i860 rs6000 toyp
+STRATEGIES := naive postpass ips rase local
 
 build:
 	$(GO) build ./...
@@ -28,4 +31,20 @@ bench:
 benchsmoke:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
 
-ci: build vet test race benchsmoke
+# Emitted-code verification sweep: the machine-description-driven
+# verifier (internal/verify) over the Livermore suite and every
+# examples/c source, on every target under every strategy. Expected
+# output is an all-zero finding matrix; any finding fails the build.
+verify-all:
+	$(GO) run ./cmd/marionstats -verify
+	@for f in examples/c/*.c; do \
+	  for t in $(TARGETS); do \
+	    for s in $(STRATEGIES); do \
+	      $(GO) run ./cmd/marionc -target $$t -strategy $$s -verify $$f > /dev/null \
+	        || { echo "verify-all: $$f $$t/$$s FAILED"; exit 1; }; \
+	    done; \
+	  done; \
+	  echo "verify-all: $$f clean on all targets/strategies"; \
+	done
+
+ci: build vet test race benchsmoke verify-all

@@ -6,68 +6,93 @@
 //
 //	marionc -target r2000 -strategy postpass file.c
 //	marionc -target i860 -strategy ips -stats file.c
+//	marionc -target r2000 -verify file.c
 //	marionc -target r2000 -workers 8 file.c
 //
 // -workers bounds the parallel per-function back end (default
 // GOMAXPROCS); the emitted assembly is identical for any worker count.
+// -verify re-checks the emitted code against the machine description
+// (internal/verify); findings are printed per instruction and make the
+// exit status non-zero.
+//
+// When compilation fails, marionc prints EVERY structured diagnostic —
+// one line per failing function with its phase — not just the first.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
 	"marion/internal/core"
+	"marion/internal/pipeline"
 	"marion/internal/strategy"
+	"marion/internal/verify"
 )
 
 func main() {
-	target := flag.String("target", "r2000", "target machine (see -list)")
-	strat := flag.String("strategy", "postpass",
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so tests can drive
+// the full command. Exit status: 0 success, 1 compile error or verify
+// findings, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("marionc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	target := fs.String("target", "r2000", "target machine (see -list)")
+	strat := fs.String("strategy", "postpass",
 		"code generation strategy: "+strings.Join(strategy.KindNames(), ", "))
-	stats := flag.Bool("stats", false, "print per-function back end statistics")
-	list := flag.Bool("list", false, "list available targets and exit")
-	out := flag.String("o", "", "write assembly to file instead of stdout")
-	workers := flag.Int("workers", 0, "parallel back end workers (0 = GOMAXPROCS)")
-	flag.Parse()
+	stats := fs.Bool("stats", false, "print per-function back end statistics")
+	list := fs.Bool("list", false, "list available targets and exit")
+	out := fs.String("o", "", "write assembly to file instead of stdout")
+	workers := fs.Int("workers", 0, "parallel back end workers (0 = GOMAXPROCS)")
+	doVerify := fs.Bool("verify", false,
+		"re-check emitted code against the machine description; findings fail the build")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, t := range core.Targets() {
-			fmt.Println(t)
+			fmt.Fprintln(stdout, t)
 		}
-		return
+		return 0
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: marionc [-target T] [-strategy S] file.c")
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: marionc [-target T] [-strategy S] [-verify] file.c")
+		return 2
 	}
-	file := flag.Arg(0)
+	file := fs.Arg(0)
 	src, err := os.ReadFile(file)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	kind, err := strategy.ParseKind(*strat)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	gen, err := core.New(*target, kind)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	gen.Workers = *workers
+	gen.Verify = *doVerify
 	res, err := gen.Compile(file, string(src))
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	text := res.Program.Print()
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 	} else {
-		fmt.Print(text)
+		fmt.Fprint(stdout, text)
 	}
 	if *stats {
 		var names []string
@@ -77,14 +102,40 @@ func main() {
 		sort.Strings(names)
 		for _, n := range names {
 			st := res.Stats[n]
-			fmt.Fprintf(os.Stderr,
+			fmt.Fprintf(stderr,
 				"%s: est %d cycles, %d spills (%d slots), %d alloc rounds, %d schedule passes\n",
 				n, st.EstimatedCycles, st.Spills, st.SpillSlots, st.AllocRounds, st.SchedulePasses)
 		}
 	}
+	if *doVerify && !res.Verify.Empty() {
+		printFindings(stderr, res.Verify)
+		return 1
+	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "marionc:", err)
-	os.Exit(1)
+// fail prints a compile failure and returns the exit status. A
+// *pipeline.Diagnostics error is expanded into one line per failing
+// function (with its phase); anything else prints as-is.
+func fail(stderr io.Writer, err error) int {
+	var diags *pipeline.Diagnostics
+	if errors.As(err, &diags) {
+		all := diags.All()
+		fmt.Fprintf(stderr, "marionc: %d function(s) failed:\n", len(all))
+		for _, d := range all {
+			fmt.Fprintf(stderr, "  %s: %s: %v\n", d.Func, d.Phase, d.Err)
+		}
+		return 1
+	}
+	fmt.Fprintln(stderr, "marionc:", err)
+	return 1
+}
+
+// printFindings renders every verifier finding, one per line, grouped
+// under a count header.
+func printFindings(stderr io.Writer, rep *verify.Report) {
+	fmt.Fprintf(stderr, "marionc: verify: %d finding(s):\n", len(rep.Findings))
+	for _, f := range rep.Findings {
+		fmt.Fprintf(stderr, "  %s\n", f)
+	}
 }

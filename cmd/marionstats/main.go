@@ -10,6 +10,7 @@
 //	marionstats -speedup        # strategy comparison
 //	marionstats -fig7           # i860 dual-operation schedule
 //	marionstats -selstats       # selection index/memoization work counts
+//	marionstats -verify         # emitted-code verification matrix (expect all-zero)
 //	marionstats -all
 package main
 
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"marion/internal/core"
 	"marion/internal/experiments"
 	"marion/internal/strategy"
 )
@@ -27,6 +29,8 @@ func main() {
 	speedup := flag.Bool("speedup", false, "strategy speedup comparison")
 	fig7 := flag.Bool("fig7", false, "Figure 7: i860 dual-operation schedule")
 	selstats := flag.Bool("selstats", false, "selection template-index and memoization work counts")
+	verifyFlag := flag.Bool("verify", false,
+		"run the emitted-code verifier over the Livermore suite on every target x strategy")
 	all := flag.Bool("all", false, "everything")
 	target := flag.String("target", "r2000", "target for tables 3/4 and speedups")
 	loops := flag.Int("loops", 1, "kernel repetition count")
@@ -113,6 +117,24 @@ func main() {
 				return err
 			}
 			fmt.Print(experiments.FormatSelStats(rows))
+			return nil
+		})
+	}
+	if *all || *verifyFlag {
+		run("verify", func() error {
+			rows, err := experiments.VerifyMatrix(core.Targets(),
+				[]strategy.Kind{strategy.Naive, strategy.Postpass, strategy.IPS,
+					strategy.RASE, strategy.Local},
+				*workers)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatVerifyMatrix(rows))
+			for _, r := range rows {
+				if r.Findings > 0 {
+					return fmt.Errorf("%s/%s: %d finding(s)", r.Target, r.Strategy, r.Findings)
+				}
+			}
 			return nil
 		})
 	}

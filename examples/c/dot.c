@@ -1,0 +1,17 @@
+/* Dot product: the quickstart kernel, exercising double loads, FP
+   multiply-add chains and a counted loop on every target. */
+double dot(double *a, double *b, int n) {
+    int i;
+    double s = 0.0;
+    for (i = 0; i < n; i++) s = s + a[i] * b[i];
+    return s;
+}
+
+double va[64], vb[64];
+
+void setup(int n) {
+    int i;
+    for (i = 0; i < n; i++) { va[i] = i + 1; vb[i] = 2 * i + 1; }
+}
+
+double run(int n) { return dot(va, vb, n); }

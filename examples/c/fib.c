@@ -1,0 +1,8 @@
+/* Recursive calls: deep call/return chains, callee-save discipline and
+   delay slots around jal/jr on every target. */
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+
+int run(int n) { return fib(n); }

@@ -1,0 +1,25 @@
+/* Mixed integer/FP block with enough pressure to force spills on the
+   register-starved targets, plus branches in both directions. */
+int g;
+double acc;
+
+int clamp(int x, int lo, int hi) {
+    if (x < lo) return lo;
+    if (x > hi) return hi;
+    return x;
+}
+
+/* Kept within two live doubles: toyp allocates only d[1:2]. */
+double blend(double a, double b) {
+    acc = acc + a * b;
+    return acc;
+}
+
+int checksum(int n) {
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i++) {
+        s = s * 31 + clamp(i * g, -100, 100);
+    }
+    return s;
+}

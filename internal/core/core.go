@@ -19,6 +19,7 @@ import (
 	"marion/internal/sim"
 	"marion/internal/strategy"
 	"marion/internal/targets"
+	"marion/internal/verify"
 )
 
 // Strategy re-exports the code generation strategies.
@@ -46,6 +47,10 @@ type CodeGenerator struct {
 	// (<= 0 means runtime.GOMAXPROCS(0)); any value produces
 	// byte-identical output.
 	Workers int
+	// Verify runs the machine-description-driven verifier
+	// (internal/verify) over the emitted code; findings land in
+	// Result.Verify.
+	Verify bool
 }
 
 // New builds a code generator for a shipped target.
@@ -72,6 +77,9 @@ type Result struct {
 	Program *asm.Program
 	Module  *ir.Module
 	Stats   map[string]*strategy.Stats
+	// Verify holds the emitted-code verifier's findings; non-nil
+	// exactly when CodeGenerator.Verify was set.
+	Verify *verify.Report
 }
 
 // Compile compiles C-subset source text.
@@ -91,11 +99,12 @@ func (g *CodeGenerator) Compile(filename, source string) (*Result, error) {
 func (g *CodeGenerator) CompileModule(mod *ir.Module) (*Result, error) {
 	c, err := driver.CompileModule(g.Machine, mod, driver.Config{
 		Strategy: g.Strategy, Options: g.Options, Workers: g.Workers,
+		Verify: g.Verify,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Program: c.Prog, Module: c.Module, Stats: c.Stats}, nil
+	return &Result{Program: c.Prog, Module: c.Module, Stats: c.Stats, Verify: c.Verify}, nil
 }
 
 // Execute runs a compiled function on the timing simulator and returns

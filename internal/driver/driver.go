@@ -23,6 +23,7 @@ import (
 	"marion/internal/sel"
 	"marion/internal/strategy"
 	"marion/internal/targets"
+	"marion/internal/verify"
 )
 
 // DataBase is the absolute address where globals are laid out.
@@ -36,6 +37,11 @@ type Config struct {
 	// LinearSelect disables the selection template index and memo
 	// caches (the brute-force reference path; see sel.Options.Linear).
 	LinearSelect bool
+	// Verify runs the machine-description-driven verifier
+	// (internal/verify) over every compiled function; the merged
+	// findings land in Compiled.Verify. Findings are not compile
+	// errors — callers decide whether they are fatal.
+	Verify bool
 	// Workers bounds the per-function back end worker pool;
 	// <= 0 means runtime.GOMAXPROCS(0). Output is identical for any
 	// worker count.
@@ -55,6 +61,9 @@ type Compiled struct {
 	// Sel sums the selection work counters across all functions
 	// (summed in deterministic source order).
 	Sel sel.Counters
+	// Verify merges every function's verifier findings (source order);
+	// non-nil exactly when Config.Verify was set.
+	Verify *verify.Report
 }
 
 // Compile compiles a C translation unit for the configured target.
@@ -114,15 +123,22 @@ func CompileModuleCtx(ctx context.Context, m *mach.Machine, mod *ir.Module, cfg 
 		Strategy:     cfg.Strategy,
 		Options:      cfg.Options,
 		LinearSelect: cfg.LinearSelect,
+		Verify:       cfg.Verify,
 		Workers:      cfg.Workers,
 	})
 	if err := diags.Err(); err != nil {
 		return nil, err
 	}
+	if cfg.Verify {
+		out.Verify = &verify.Report{}
+	}
 	for _, r := range results {
 		out.Stats[r.IR.Name] = r.Stats
 		out.Prog.Funcs = append(out.Prog.Funcs, r.Func)
 		out.Sel.Add(r.Sel)
+		if out.Verify != nil {
+			out.Verify.Merge(r.Verify)
+		}
 		for _, pt := range r.Timings {
 			out.PhaseTimes[pt.Phase] += pt.Time
 		}

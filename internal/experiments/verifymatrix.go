@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"marion/internal/driver"
+	"marion/internal/livermore"
+	"marion/internal/strategy"
+	"marion/internal/targets"
+	"marion/internal/verify"
+)
+
+// VerifyRow is one cell of the verification matrix: the Livermore
+// suite compiled for one target under one strategy, re-checked by the
+// emitted-code verifier.
+type VerifyRow struct {
+	Target   string
+	Strategy strategy.Kind
+	Funcs    int                 // functions verified
+	Findings int                 // total findings (expected 0)
+	ByKind   map[verify.Kind]int // findings per invariant class
+}
+
+// VerifyMatrix compiles the Livermore suite for every target ×
+// strategy combination with the verifier enabled and tallies the
+// findings. A healthy back end produces an all-zero matrix; any
+// nonzero cell names the invariant class that broke.
+func VerifyMatrix(targetNames []string, strats []strategy.Kind, workers int) ([]VerifyRow, error) {
+	var rows []VerifyRow
+	for _, tn := range targetNames {
+		m, err := targets.Load(tn)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range strats {
+			// A fresh module per compile: the glue transform rewrites
+			// the IL in place.
+			mod, err := livermore.SuiteModule()
+			if err != nil {
+				return nil, err
+			}
+			c, err := driver.CompileModule(m, mod, driver.Config{
+				Strategy: st, Verify: true, Workers: workers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", tn, st, err)
+			}
+			row := VerifyRow{
+				Target: tn, Strategy: st,
+				Funcs:    len(c.Prog.Funcs),
+				Findings: len(c.Verify.Findings),
+				ByKind:   map[verify.Kind]int{},
+			}
+			for _, k := range verify.Kinds() {
+				if n := c.Verify.Count(k); n > 0 {
+					row.ByKind[k] = n
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatVerifyMatrix renders the verification matrix as text, one row
+// per target × strategy with a per-kind breakdown column when any
+// finding exists.
+func FormatVerifyMatrix(rows []VerifyRow) string {
+	var sb strings.Builder
+	sb.WriteString("Emitted-code verification: Livermore suite, findings per target x strategy\n")
+	fmt.Fprintf(&sb, "%-8s %-9s %6s %9s  %s\n", "Target", "Strategy", "Funcs", "Findings", "ByKind")
+	total := 0
+	for _, r := range rows {
+		by := ""
+		if len(r.ByKind) > 0 {
+			var parts []string
+			for _, k := range verify.Kinds() {
+				if n := r.ByKind[k]; n > 0 {
+					parts = append(parts, fmt.Sprintf("%s=%d", k, n))
+				}
+			}
+			by = strings.Join(parts, " ")
+		}
+		fmt.Fprintf(&sb, "%-8s %-9s %6d %9d  %s\n", r.Target, r.Strategy, r.Funcs, r.Findings, by)
+		total += r.Findings
+	}
+	fmt.Fprintf(&sb, "total findings: %d\n", total)
+	return sb.String()
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"marion/internal/strategy"
+	"marion/internal/verify"
+)
+
+func TestVerifyMatrixAllZero(t *testing.T) {
+	rows, err := VerifyMatrix([]string{"toyp"}, []strategy.Kind{strategy.Postpass}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Target != "toyp" || r.Strategy != strategy.Postpass {
+		t.Errorf("row = %+v", r)
+	}
+	if r.Funcs == 0 {
+		t.Error("no functions verified")
+	}
+	if r.Findings != 0 || len(r.ByKind) != 0 {
+		t.Errorf("findings = %d (%v), want 0", r.Findings, r.ByKind)
+	}
+	out := FormatVerifyMatrix(rows)
+	if !strings.Contains(out, "toyp") || !strings.Contains(out, "total findings: 0") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestFormatVerifyMatrixReportsKinds(t *testing.T) {
+	rows := []VerifyRow{{
+		Target: "r2000", Strategy: strategy.IPS, Funcs: 3, Findings: 2,
+		ByKind: map[verify.Kind]int{verify.KindLatency: 2},
+	}}
+	out := FormatVerifyMatrix(rows)
+	if !strings.Contains(out, "latency=2") || !strings.Contains(out, "total findings: 2") {
+		t.Errorf("format output:\n%s", out)
+	}
+}

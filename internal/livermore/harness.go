@@ -9,10 +9,22 @@ import (
 	"marion/internal/strategy"
 )
 
-// Build compiles a kernel for the given target and strategy.
+// Build compiles a kernel for the given target and strategy. The
+// emitted-code verifier runs on every build, so each kernel compile in
+// the test suite doubles as a differential check of the scheduler and
+// allocator: any finding is a build error.
 func Build(k *Kernel, target string, strat strategy.Kind) (*driver.Compiled, error) {
 	name := fmt.Sprintf("loop%d.c", k.ID)
-	return driver.Compile(name, k.Source, driver.Config{Target: target, Strategy: strat})
+	c, err := driver.Compile(name, k.Source, driver.Config{
+		Target: target, Strategy: strat, Verify: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Verify.Err(); err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", target, strat, err)
+	}
+	return c, nil
 }
 
 // Run executes a compiled kernel: init() then kern(loops). It returns

@@ -22,6 +22,7 @@ import (
 	"marion/internal/mach"
 	"marion/internal/sel"
 	"marion/internal/strategy"
+	"marion/internal/verify"
 	"marion/internal/xform"
 )
 
@@ -45,11 +46,18 @@ type Ctx struct {
 	// caches (sel.Options.Linear): the reference brute-force path.
 	LinearSelect bool
 
+	// VerifyEnabled turns on the verify phase (Config.Verify).
+	VerifyEnabled bool
+
 	// Stats is the per-function statistics sink, filled by the strategy
 	// phase.
 	Stats *strategy.Stats
 	// Sel counts the selection phase's pattern-matching work.
 	Sel sel.Counters
+	// Verify is the emitted-code verifier's report, filled by the
+	// verify phase when enabled (findings are data, not phase errors:
+	// callers decide whether they are fatal).
+	Verify *verify.Report
 	// Timings records per-phase wall time, appended by the runner.
 	Timings []PhaseTiming
 }
@@ -97,6 +105,15 @@ func Backend() *Pipeline {
 			c.Stats = st
 			return nil
 		}},
+		{Name: "verify", Run: func(c *Ctx) error {
+			if !c.VerifyEnabled || c.Func == nil {
+				return nil
+			}
+			c.Verify = verify.Func(c.Machine, c.Func, verify.Options{
+				IssueOnly: c.Options.Sched.CurrentCycleOnly,
+			})
+			return nil
+		}},
 	}}
 }
 
@@ -107,6 +124,9 @@ type Config struct {
 	// LinearSelect selects the unindexed, unmemoized selection
 	// reference path (see sel.Options.Linear).
 	LinearSelect bool
+	// Verify runs the emitted-code verifier (internal/verify) over
+	// every function after the strategy phase.
+	Verify bool
 	// Workers bounds the per-function worker pool; <= 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
@@ -118,6 +138,7 @@ type Result struct {
 	Func    *asm.Func
 	Stats   *strategy.Stats
 	Sel     sel.Counters
+	Verify  *verify.Report
 	Timings []PhaseTiming
 }
 
@@ -170,12 +191,13 @@ func (p *Pipeline) Run(ctx context.Context, m *mach.Machine, funcs []*ir.Func, c
 // On phase error it records a diagnostic and returns nil.
 func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *ir.Func, cfg Config, diags *Diagnostics) *Result {
 	c := &Ctx{
-		Context:      ctx,
-		Machine:      m,
-		IR:           fn,
-		Strategy:     cfg.Strategy,
-		Options:      cfg.Options,
-		LinearSelect: cfg.LinearSelect,
+		Context:       ctx,
+		Machine:       m,
+		IR:            fn,
+		Strategy:      cfg.Strategy,
+		Options:       cfg.Options,
+		LinearSelect:  cfg.LinearSelect,
+		VerifyEnabled: cfg.Verify,
 	}
 	for _, ph := range p.Phases {
 		if err := ctx.Err(); err != nil {
@@ -190,5 +212,5 @@ func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *i
 			return nil
 		}
 	}
-	return &Result{IR: fn, Func: c.Func, Stats: c.Stats, Sel: c.Sel, Timings: c.Timings}
+	return &Result{IR: fn, Func: c.Func, Stats: c.Stats, Sel: c.Sel, Verify: c.Verify, Timings: c.Timings}
 }

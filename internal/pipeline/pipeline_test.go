@@ -19,7 +19,7 @@ int twice(int x) { return x + x; }
 
 func TestBackendPhaseOrder(t *testing.T) {
 	p := pipeline.Backend()
-	want := []string{"xform", "select", "strategy"}
+	want := []string{"xform", "select", "strategy", "verify"}
 	if len(p.Phases) != len(want) {
 		t.Fatalf("phases = %d, want %d", len(p.Phases), len(want))
 	}
@@ -58,7 +58,7 @@ func TestRunCompilesAllFunctions(t *testing.T) {
 		if r.IR != mod.Funcs[i] {
 			t.Errorf("result %d out of source order", i)
 		}
-		if len(r.Timings) != 3 {
+		if len(r.Timings) != 4 {
 			t.Errorf("result %d timings = %v", i, r.Timings)
 		}
 	}

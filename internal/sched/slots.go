@@ -14,8 +14,11 @@ import (
 // An instruction X may move from before transfer B into B's
 // always-executed delay slot when:
 //
-//   - X transfers nothing itself, touches no temporal latches, and has
-//     no implicit register effects;
+//   - B's slots are always executed (negative %slots counts are
+//     taken-only: an instruction hoisted there would be annulled on
+//     fall-through, so only nops are legal);
+//   - X transfers nothing itself, touches no temporal latches, ticks
+//     no clock, and has no implicit register effects;
 //   - no instruction between X and the slot reads or writes X's
 //     definitions, or writes X's uses (moving X past them is then a
 //     no-op for intra-block dataflow);
@@ -24,6 +27,8 @@ import (
 //   - B neither reads nor writes any register X defines (B's operands
 //     are consumed at issue, before the slot executes — but keeping the
 //     condition conservative costs little);
+//   - X's resource vector, replayed from the slot cycle, claims no
+//     pipeline stage an instruction staying put already holds;
 //   - X is not itself in some other transfer's delay slot.
 func FillDelaySlots(m *mach.Machine, af *asm.Func) int {
 	filled := 0
@@ -60,6 +65,28 @@ func overlaps(a, b map[int64]bool) bool {
 	return false
 }
 
+// slotResourceFree reports whether x's resource vector, replayed from
+// the slot's cycle, stays disjoint from every instruction that is not
+// moving. Latency-1 instructions with long vectors (a divider held for
+// several cycles, say) can otherwise collide with a predecessor the
+// scheduler had carefully spaced. x's old claim and the replaced nop's
+// both vacate, so neither is counted.
+func slotResourceFree(b *asm.Block, x, slot *asm.Inst) bool {
+	for _, y := range b.Insts {
+		if y == x || y == slot || y.Cycle < 0 {
+			continue
+		}
+		for cx, rx := range x.Tmpl.ResVec {
+			for cy, ry := range y.Tmpl.ResVec {
+				if slot.Cycle+cx == y.Cycle+cy && rx&ry != 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
 func fillBlock(m *mach.Machine, b *asm.Block) int {
 	filled := 0
 	// Find transfers followed by nop slots.
@@ -70,7 +97,10 @@ func fillBlock(m *mach.Machine, b *asm.Block) int {
 		}
 		slots := tr.Tmpl.Slots
 		if slots < 0 {
-			slots = -slots
+			// Taken-only (annulled) slots: anything hoisted from above
+			// the branch would be skipped on fall-through, losing its
+			// computation. Only the nops the scheduler placed are legal.
+			continue
 		}
 		trUses := regsOf(m, tr, tr.Tmpl.UseOps)
 		for _, p := range tr.ImpUses {
@@ -90,7 +120,8 @@ func fillBlock(m *mach.Machine, b *asm.Block) int {
 				t := x.Tmpl
 				if t.Transfers() || t == m.Nop ||
 					len(x.ImpDefs) > 0 || len(x.ImpUses) > 0 ||
-					len(t.ReadsTRegs) > 0 || len(t.WritesTRegs) > 0 {
+					len(t.ReadsTRegs) > 0 || len(t.WritesTRegs) > 0 ||
+					t.AffectsClock >= 0 {
 					// Stop at other transfers entirely: everything above
 					// them belongs to their region (and may sit in their
 					// delay slots).
@@ -136,7 +167,7 @@ func fillBlock(m *mach.Machine, b *asm.Block) int {
 						break
 					}
 				}
-				if !ok {
+				if !ok || !slotResourceFree(b, x, slot) {
 					continue
 				}
 				// Move x into the slot: remove x from its old position

@@ -1,0 +1,48 @@
+package verify_test
+
+import (
+	"fmt"
+	"testing"
+
+	"marion/internal/driver"
+	"marion/internal/livermore"
+	"marion/internal/strategy"
+	"marion/internal/targets"
+)
+
+// TestLivermoreCorpusClean is the differential harness of the verifier:
+// the full Livermore suite, compiled for every shipped target under
+// every scheduling strategy, must verify with zero findings. Any
+// scheduler or allocator change that breaks a latency, resource,
+// temporal, delay-slot or register invariant fails here with a
+// structured, per-instruction explanation.
+func TestLivermoreCorpusClean(t *testing.T) {
+	strats := []strategy.Kind{
+		strategy.Naive, strategy.Postpass, strategy.IPS, strategy.RASE, strategy.Local,
+	}
+	for _, target := range targets.Names() {
+		m, err := targets.Load(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range strats {
+			t.Run(fmt.Sprintf("%s/%s", target, strat), func(t *testing.T) {
+				// A fresh module per compile: the glue transform
+				// rewrites the IL in place.
+				mod, err := livermore.SuiteModule()
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := driver.CompileModule(m, mod, driver.Config{
+					Strategy: strat, Verify: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !c.Verify.Empty() {
+					t.Errorf("%d finding(s):\n%s", len(c.Verify.Findings), c.Verify)
+				}
+			})
+		}
+	}
+}

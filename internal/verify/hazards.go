@@ -1,0 +1,181 @@
+package verify
+
+import (
+	"marion/internal/asm"
+	"marion/internal/mach"
+)
+
+// defInfo remembers the last write to a dataflow location within a
+// block.
+type defInfo struct {
+	idx   int  // writing instruction's index
+	time  int  // issue cycle of the write
+	sched bool // writer carries a scheduler cycle (Cycle >= 0)
+}
+
+// latchOwner remembers the live value of one +temporal latch.
+type latchOwner struct {
+	seq  int // sequence identity of the writer (asm.Inst.SeqID)
+	idx  int // writing instruction's index
+	time int // issue cycle of the write
+	lat  int // writer's latency
+}
+
+// checkDataHazards replays a block's dataflow word by word and checks
+// the latency, temporal-latch and same-word write invariants. Within a
+// word all reads observe pre-word state and all writes commit at the
+// end of the word (the machine's read-then-write phases), which is also
+// what makes a same-word anti-dependence legal.
+//
+// Latency findings are restricted to producer/consumer pairs that BOTH
+// carry scheduler cycles: the prologue/epilogue instructions inserted
+// after scheduling (Cycle < 0) rely on hardware interlocks by design.
+// Dependences never cross block boundaries (the scheduler's unit is the
+// basic block; inter-block timing is the simulator's interlock
+// problem), so all state resets per block.
+func (v *verifier) checkDataHazards(bi int, b *asm.Block, ws []word) {
+	lastDef := map[regKey]defInfo{}
+	owner := map[*mach.RegSet]latchOwner{}
+	lastMem := -1 // time of the last memory-writing word, -1 if none
+
+	for _, w := range ws {
+		// Read phase: every use observes the state before this word.
+		for _, i := range w.insts {
+			in := b.Insts[i]
+			for _, opIdx := range in.Tmpl.UseOps {
+				o := in.Args[opIdx]
+				if o.IsReg() {
+					v.checkUse(bi, b, w, i, in, o, lastDef)
+				}
+			}
+			for _, p := range in.ImpUses {
+				v.checkUse(bi, b, w, i, in, asm.Phys(p), lastDef)
+			}
+			for _, ts := range in.Tmpl.ReadsTRegs {
+				ow, ok := owner[ts]
+				switch {
+				case !ok:
+					v.addf(bi, i, w.time, KindTemporal,
+						"%s reads latch set %s holding no live value (never written, or its clock ticked)",
+						in.Tmpl.Mnemonic, ts.Name)
+				case ow.seq != in.SeqID:
+					v.addf(bi, i, w.time, KindTemporal,
+						"%s (seq %d) reads latch set %s written by a different sequence (%s, seq %d)",
+						in.Tmpl.Mnemonic, in.SeqID, ts.Name, b.Insts[ow.idx].Tmpl.Mnemonic, ow.seq)
+				case w.time-ow.time < ow.lat:
+					v.addf(bi, i, w.time, KindTemporal,
+						"%s reads latch set %s %d cycle(s) after its write (latency %d)",
+						in.Tmpl.Mnemonic, ts.Name, w.time-ow.time, ow.lat)
+				}
+			}
+		}
+
+		// Memory ordering: stores have latency 1 to every subsequent
+		// memory reference, so a memory write may never share a word
+		// with another memory reference, and no later reference may
+		// issue in the same cycle as an earlier write. Calls count as
+		// both (the callee may read and write anything).
+		memAt := func(in *asm.Inst) (ref, write bool) {
+			t := in.Tmpl
+			ref = t.ReadsMem || t.WritesMem || t.IsCall
+			write = t.WritesMem || t.IsCall
+			return
+		}
+		for _, i := range w.insts {
+			in := b.Insts[i]
+			ref, write := memAt(in)
+			if !ref {
+				continue
+			}
+			if in.Cycle >= 0 && lastMem >= 0 && w.time <= lastMem {
+				v.addf(bi, i, w.time, KindLatency,
+					"memory reference %s issues in the same cycle as an earlier memory write",
+					in.Tmpl.Mnemonic)
+			}
+			if write && in.Cycle >= 0 {
+				lastMem = w.time
+			}
+		}
+
+		// Write phase: commit register defs, temporal-latch writes and
+		// detect two writes to one location in a single word.
+		wordDefs := map[regKey]int{}
+		for _, i := range w.insts {
+			in := b.Insts[i]
+			sched := in.Cycle >= 0
+			for _, opIdx := range in.Tmpl.DefOps {
+				o := in.Args[opIdx]
+				if !o.IsReg() || v.isHardPhys(o) {
+					continue
+				}
+				for _, k := range v.keys(o) {
+					if pi, dup := wordDefs[k]; dup && sched && b.Insts[pi].Cycle >= 0 {
+						v.addf(bi, i, w.time, KindRegister,
+							"%s and %s both write %s in one instruction word",
+							b.Insts[pi].Tmpl.Mnemonic, in.Tmpl.Mnemonic, v.regName(k))
+					}
+					wordDefs[k] = i
+					lastDef[k] = defInfo{idx: i, time: w.time, sched: sched}
+				}
+			}
+			for _, p := range in.ImpDefs {
+				// Implicit defs (a call's clobber set) participate in
+				// dependence tracking but not in the same-word
+				// double-write check: they are a summary, not a write
+				// port.
+				for _, a := range v.m.Aliases(p) {
+					lastDef[regKey(a)] = defInfo{idx: i, time: w.time, sched: sched}
+				}
+			}
+			for _, ts := range in.Tmpl.WritesTRegs {
+				if ow, ok := owner[ts]; ok && ow.time == w.time {
+					v.addf(bi, i, w.time, KindTemporal,
+						"%s and %s both write latch set %s in one instruction word",
+						b.Insts[ow.idx].Tmpl.Mnemonic, in.Tmpl.Mnemonic, ts.Name)
+				}
+				owner[ts] = latchOwner{seq: in.SeqID, idx: i, time: w.time, lat: in.Tmpl.Latency}
+			}
+		}
+
+		// Clock advancement (EAP semantics): a word that advances clock
+		// k shifts every latch clocked by k. A latch written this word
+		// holds the new value; any other latch of that clock loses its
+		// value — a later read of it is a use-after-advance.
+		var ticked [64]bool
+		anyTick := false
+		for _, i := range w.insts {
+			if ck := b.Insts[i].Tmpl.AffectsClock; ck >= 0 && ck < len(ticked) {
+				ticked[ck] = true
+				anyTick = true
+			}
+		}
+		if anyTick {
+			for ts, ow := range owner {
+				if ts.Clock >= 0 && ts.Clock < len(ticked) && ticked[ts.Clock] && ow.time < w.time {
+					delete(owner, ts)
+				}
+			}
+		}
+	}
+}
+
+// checkUse verifies one register read against the last write of every
+// location it observes.
+func (v *verifier) checkUse(bi int, b *asm.Block, w word, i int, in *asm.Inst, o asm.Operand, lastDef map[regKey]defInfo) {
+	if v.isHardPhys(o) {
+		return // reads of hard-wired registers carry no dependence
+	}
+	for _, k := range v.keys(o) {
+		d, ok := lastDef[k]
+		if !ok || !d.sched || in.Cycle < 0 {
+			continue
+		}
+		prod := b.Insts[d.idx]
+		lat := v.latencyOf(prod, in)
+		if w.time-d.time < lat {
+			v.addf(bi, i, w.time, KindLatency,
+				"%s uses %s %d cycle(s) after %s writes it (latency %d)",
+				in.Tmpl.Mnemonic, v.regName(k), w.time-d.time, prod.Tmpl.Mnemonic, lat)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package verify
+
+import (
+	"marion/internal/asm"
+	"marion/internal/ir"
+	"marion/internal/mach"
+)
+
+// bitset is a dense set over physical register ids.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) has(i int) bool { return s[i/64]&(1<<uint(i%64)) != 0 }
+func (s bitset) set(i int)      { s[i/64] |= 1 << uint(i%64) }
+func (s bitset) clear(i int)    { s[i/64] &^= 1 << uint(i%64) }
+
+func (s bitset) clone() bitset {
+	o := make(bitset, len(s))
+	copy(o, s)
+	return o
+}
+
+func (s bitset) fill() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+
+// intersectWith intersects in place and reports whether s changed.
+func (s bitset) intersectWith(o bitset) bool {
+	changed := false
+	for i := range s {
+		n := s[i] & o[i]
+		if n != s[i] {
+			s[i], changed = n, true
+		}
+	}
+	return changed
+}
+
+// unionWith unions in place and reports whether s changed.
+func (s bitset) unionWith(o bitset) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i], changed = n, true
+		}
+	}
+	return changed
+}
+
+// cfg holds block indices and edges of a function's control flow graph,
+// mapped onto the asm blocks.
+type cfg struct {
+	succs [][]int
+	preds [][]int
+}
+
+func (v *verifier) buildCFG() *cfg {
+	idx := map[*ir.Block]int{}
+	for bi, b := range v.af.Blocks {
+		if b.IR == nil {
+			return nil // hand-built function without CFG info
+		}
+		idx[b.IR] = bi
+	}
+	g := &cfg{
+		succs: make([][]int, len(v.af.Blocks)),
+		preds: make([][]int, len(v.af.Blocks)),
+	}
+	for bi, b := range v.af.Blocks {
+		for _, s := range b.IR.Succs {
+			si, ok := idx[s]
+			if !ok {
+				continue
+			}
+			g.succs[bi] = append(g.succs[bi], si)
+			g.preds[si] = append(g.preds[si], bi)
+		}
+	}
+	return g
+}
+
+// markAliased sets a register and every register overlapping it.
+func (v *verifier) markAliased(s bitset, p mach.PhysID) {
+	for _, a := range v.m.Aliases(p) {
+		s.set(int(a))
+	}
+}
+
+// entryDefined is the set of registers that legitimately hold a value
+// on function entry: the stack/frame/return-address/global registers,
+// hard-wired registers, the callee-save set (the caller's values — the
+// function may read them only after saving, but "defined" they are),
+// and the argument registers this function's signature binds.
+func (v *verifier) entryDefined() bitset {
+	s := newBitset(v.m.NumPhys)
+	c := &v.m.Cwvm
+	for _, ref := range []mach.RegRef{c.SP, c.FP, c.RetAddr, c.GlobalPtr} {
+		if ref.Valid() {
+			v.markAliased(s, ref.Phys())
+		}
+	}
+	for _, h := range c.Hard {
+		v.markAliased(s, h.Ref.Phys())
+	}
+	for _, rr := range c.CalleeSave {
+		for i := rr.Lo; i <= rr.Hi; i++ {
+			v.markAliased(s, rr.Set.Phys(i))
+		}
+	}
+	if fn := v.af.IR; fn != nil && len(fn.Params) > 0 {
+		types := make([]ir.Type, len(fn.Params))
+		for i, sym := range fn.Params {
+			types[i] = sym.Type
+		}
+		for _, loc := range c.AssignArgs(types) {
+			if loc.InReg {
+				v.markAliased(s, loc.Ref.Phys())
+			}
+		}
+	}
+	return s
+}
+
+// checkDefiniteAssignment proves no instruction reads a physical
+// register that some path to it never wrote: a forward must-analysis
+// (intersection over predecessors) over the emitted code. This
+// validates the allocator end to end — a wrong coloring, a lost spill
+// reload or a miswired entry move all surface as a read of a register
+// no prior instruction (on some path) defined.
+func (v *verifier) checkDefiniteAssignment() {
+	g := v.buildCFG()
+	if g == nil || len(v.af.Blocks) == 0 {
+		return
+	}
+	n := len(v.af.Blocks)
+	ins := make([]bitset, n)
+	for i := range ins {
+		ins[i] = newBitset(v.m.NumPhys)
+		if i == 0 {
+			copy(ins[i], v.entryDefined())
+		} else {
+			ins[i].fill() // top: refined by intersection
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := range v.af.Blocks {
+			out := ins[bi].clone()
+			v.daFlow(bi, out, false)
+			for _, si := range g.succs[bi] {
+				if ins[si].intersectWith(out) {
+					changed = true
+				}
+			}
+		}
+	}
+	for bi := range v.af.Blocks {
+		v.daFlow(bi, ins[bi].clone(), true)
+	}
+}
+
+// daFlow runs the definite-assignment transfer function over one block,
+// word-phased (reads in a word observe pre-word state). With report
+// set it emits findings for uses of possibly-undefined registers.
+func (v *verifier) daFlow(bi int, s bitset, report bool) {
+	b := v.af.Blocks[bi]
+	times := v.times[bi]
+	checkUse := func(i int, o asm.Operand) {
+		if o.Kind != asm.OpPhys || v.isHardPhys(o) {
+			return
+		}
+		if !s.has(int(o.Phys)) {
+			v.addf(bi, i, times[i], KindRegister,
+				"%s reads %s, which is not written on every path to this point",
+				b.Insts[i].Tmpl.Mnemonic, v.m.PhysName(o.Phys))
+		}
+	}
+	for i := 0; i < len(b.Insts); {
+		j := i
+		for j < len(b.Insts) && times[j] == times[i] {
+			j++
+		}
+		if report {
+			for k := i; k < j; k++ {
+				in := b.Insts[k]
+				for _, opIdx := range in.Tmpl.UseOps {
+					checkUse(k, in.Args[opIdx])
+				}
+				for _, p := range in.ImpUses {
+					checkUse(k, asm.Phys(p))
+				}
+			}
+		}
+		for k := i; k < j; k++ {
+			in := b.Insts[k]
+			for _, opIdx := range in.Tmpl.DefOps {
+				if o := in.Args[opIdx]; o.Kind == asm.OpPhys {
+					v.markAliased(s, o.Phys)
+				}
+			}
+			for _, p := range in.ImpDefs {
+				v.markAliased(s, p)
+			}
+		}
+		i = j
+	}
+}
+
+// checkClobbers runs a backward liveness pass over the emitted code and
+// checks (1) that no call clobbers a live non-result value — the
+// caller-save discipline the allocator must maintain — and (2) that no
+// instruction writes a callee-save register the function did not save
+// in its prologue.
+func (v *verifier) checkClobbers() {
+	g := v.buildCFG()
+	if g == nil || len(v.af.Blocks) == 0 {
+		return
+	}
+	n := len(v.af.Blocks)
+
+	// Per-block gen/kill over physical registers, alias-expanded on
+	// both sides (matching the allocator's own liveness model).
+	use := make([]bitset, n)
+	def := make([]bitset, n)
+	for bi, b := range v.af.Blocks {
+		use[bi] = newBitset(v.m.NumPhys)
+		def[bi] = newBitset(v.m.NumPhys)
+		for _, in := range b.Insts {
+			v.instUses(in, func(p mach.PhysID) {
+				for _, a := range v.m.Aliases(p) {
+					if !def[bi].has(int(a)) {
+						use[bi].set(int(a))
+					}
+				}
+			})
+			v.instDefs(in, true, func(p mach.PhysID) {
+				v.markAliased(def[bi], p)
+			})
+		}
+	}
+	liveIn := make([]bitset, n)
+	liveOut := make([]bitset, n)
+	for i := range liveIn {
+		liveIn[i] = newBitset(v.m.NumPhys)
+		liveOut[i] = newBitset(v.m.NumPhys)
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := n - 1; bi >= 0; bi-- {
+			for _, si := range g.succs[bi] {
+				if liveOut[bi].unionWith(liveIn[si]) {
+					changed = true
+				}
+			}
+			in := use[bi].clone()
+			for w := range in {
+				in[w] |= liveOut[bi][w] &^ def[bi][w]
+			}
+			if liveIn[bi].unionWith(in) {
+				changed = true
+			}
+		}
+	}
+
+	results := newBitset(v.m.NumPhys)
+	for _, r := range v.m.Cwvm.Results {
+		v.markAliased(results, r.Ref.Phys())
+	}
+
+	for bi, b := range v.af.Blocks {
+		// liveBefore[i]: the live set entering instruction i.
+		liveBefore := make([]bitset, len(b.Insts))
+		live := liveOut[bi].clone()
+		for i := len(b.Insts) - 1; i >= 0; i-- {
+			in := b.Insts[i]
+			v.instDefs(in, true, func(p mach.PhysID) {
+				for _, a := range v.m.Aliases(p) {
+					live.clear(int(a))
+				}
+			})
+			v.instUses(in, func(p mach.PhysID) {
+				v.markAliased(live, p)
+			})
+			liveBefore[i] = live.clone()
+		}
+		times := v.times[bi]
+		for i, in := range b.Insts {
+			if !in.Tmpl.IsCall || len(in.ImpDefs) == 0 {
+				continue
+			}
+			// The call's delay-slot instructions execute before control
+			// reaches the callee: the clobber takes effect after them.
+			slots := in.Tmpl.Slots
+			if slots < 0 {
+				slots = -slots
+			}
+			j := i + 1
+			for j < len(b.Insts) && times[j] <= times[i]+slots {
+				j++
+			}
+			after := liveOut[bi]
+			if j < len(b.Insts) {
+				after = liveBefore[j]
+			}
+			for _, p := range in.ImpDefs {
+				if after.has(int(p)) && !results.has(int(p)) {
+					v.addf(bi, i, times[i], KindRegister,
+						"%s clobbers %s, which is live after the call",
+						in.Tmpl.Mnemonic, v.m.PhysName(p))
+				}
+			}
+		}
+	}
+
+	v.checkCalleeSaveDiscipline()
+}
+
+// checkCalleeSaveDiscipline flags writes to callee-save registers the
+// function's prologue does not save.
+func (v *verifier) checkCalleeSaveDiscipline() {
+	csave := newBitset(v.m.NumPhys)
+	for _, rr := range v.m.Cwvm.CalleeSave {
+		for i := rr.Lo; i <= rr.Hi; i++ {
+			csave.set(int(rr.Set.Phys(i)))
+		}
+	}
+	saved := newBitset(v.m.NumPhys)
+	for _, p := range v.af.CalleeSaved {
+		v.markAliased(saved, p)
+	}
+	c := &v.m.Cwvm
+	for _, ref := range []mach.RegRef{c.SP, c.FP, c.RetAddr, c.GlobalPtr} {
+		if ref.Valid() {
+			v.markAliased(saved, ref.Phys())
+		}
+	}
+	for bi, b := range v.af.Blocks {
+		times := v.times[bi]
+		for i, in := range b.Insts {
+			for _, opIdx := range in.Tmpl.DefOps {
+				o := in.Args[opIdx]
+				if o.Kind != asm.OpPhys || v.isHardPhys(o) {
+					continue
+				}
+				if csave.has(int(o.Phys)) && !saved.has(int(o.Phys)) {
+					v.addf(bi, i, times[i], KindRegister,
+						"%s writes callee-save register %s, which the function does not save",
+						in.Tmpl.Mnemonic, v.m.PhysName(o.Phys))
+				}
+			}
+		}
+	}
+}
+
+// instUses calls f for every physical register the instruction reads.
+func (v *verifier) instUses(in *asm.Inst, f func(mach.PhysID)) {
+	for _, opIdx := range in.Tmpl.UseOps {
+		if o := in.Args[opIdx]; o.Kind == asm.OpPhys {
+			f(o.Phys)
+		}
+	}
+	for _, p := range in.ImpUses {
+		f(p)
+	}
+}
+
+// instDefs calls f for every physical register the instruction writes;
+// implicit defs (call clobber summaries) are included when imp is set.
+func (v *verifier) instDefs(in *asm.Inst, imp bool, f func(mach.PhysID)) {
+	for _, opIdx := range in.Tmpl.DefOps {
+		if o := in.Args[opIdx]; o.Kind == asm.OpPhys {
+			f(o.Phys)
+		}
+	}
+	if imp {
+		for _, p := range in.ImpDefs {
+			f(p)
+		}
+	}
+}

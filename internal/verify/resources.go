@@ -1,0 +1,160 @@
+package verify
+
+import (
+	"marion/internal/asm"
+	"marion/internal/mach"
+)
+
+// checkResources replays every instruction's per-cycle resource vector
+// over the block timeline and reports any cycle where a pipeline stage
+// is claimed twice. It also re-checks long-instruction-word packing:
+// every class-carrying instruction in a word must share at least one
+// word element with the others (§4.5: the running intersection of
+// nonempty classes must stay nonempty).
+//
+// In IssueOnly mode (the scheduler's CurrentCycleOnly ablation) only
+// each instruction's issue-cycle resources are checked — later cycles
+// of the vector are reserved but may legally collide, matching what
+// the scheduler was asked to guarantee.
+//
+// Like the latency check, the replay covers only instructions that
+// carry scheduler cycles: the prologue/epilogue code frame.go inserts
+// afterwards (Cycle < 0, e.g. back-to-back callee-save ld.d restores
+// whose MEMS cycles overlap on the 88000) was never hazard-checked and
+// relies on the hardware's structural-hazard stalls by design.
+func (v *verifier) checkResources(bi int, b *asm.Block, ws []word) {
+	busy := map[int]mach.ResSet{}
+	for _, w := range ws {
+		for _, i := range w.insts {
+			in := b.Insts[i]
+			if in.Cycle < 0 {
+				continue
+			}
+			for c, rs := range in.Tmpl.ResVec {
+				if conflict := busy[w.time+c] & rs; conflict != 0 && (c == 0 || !v.opts.IssueOnly) {
+					v.addf(bi, i, w.time, KindResource,
+						"%s oversubscribes resource(s) %s at cycle %d",
+						in.Tmpl.Mnemonic, v.resNames(conflict), w.time+c)
+				}
+				busy[w.time+c] |= rs
+			}
+		}
+
+		if len(w.insts) < 2 {
+			continue
+		}
+		// Long-word packing legality.
+		var cls mach.ClassSet
+		hasClass := false
+		for _, i := range w.insts {
+			c := b.Insts[i].Tmpl.Class
+			if c.IsEmpty() {
+				continue // not a long-word element; packs freely
+			}
+			if !hasClass {
+				cls, hasClass = c, true
+				continue
+			}
+			cls = cls.Intersect(c)
+			if cls.IsEmpty() {
+				v.addf(bi, i, w.time, KindResource,
+					"%s cannot pack into this word: no common long-word element (%s)",
+					b.Insts[i].Tmpl.Mnemonic, v.wordShape(b, w))
+				break
+			}
+		}
+	}
+}
+
+// wordShape renders a word's mnemonics for a finding message.
+func (v *verifier) wordShape(b *asm.Block, w word) string {
+	s := ""
+	for k, i := range w.insts {
+		if k > 0 {
+			s += "|"
+		}
+		s += b.Insts[i].Tmpl.Mnemonic
+	}
+	return s
+}
+
+// checkControl verifies delay-slot structure: at most one control
+// transfer per word, and for a transfer with S delay slots the next S
+// cycles must each hold a word consisting only of nops or slot-safe
+// instructions. A missing word means the machine would execute
+// whatever comes next (or the next block) inside the transfer's
+// shadow. Negative slot counts are "taken only" (annulled) slots,
+// where any non-nop would be skipped on fall-through, so only nops are
+// legal there.
+func (v *verifier) checkControl(bi int, b *asm.Block, ws []word) {
+	byTime := map[int]int{}
+	for wi, w := range ws {
+		byTime[w.time] = wi
+	}
+	for _, w := range ws {
+		first := -1
+		for _, i := range w.insts {
+			if !b.Insts[i].Tmpl.Transfers() {
+				continue
+			}
+			if first >= 0 {
+				v.addf(bi, i, w.time, KindControl,
+					"%s shares an instruction word with control transfer %s",
+					b.Insts[i].Tmpl.Mnemonic, b.Insts[first].Tmpl.Mnemonic)
+				continue
+			}
+			first = i
+			v.checkSlots(bi, b, ws, byTime, w, i)
+		}
+	}
+}
+
+func (v *verifier) checkSlots(bi int, b *asm.Block, ws []word, byTime map[int]int, w word, ti int) {
+	in := b.Insts[ti]
+	slots := in.Tmpl.Slots
+	annulled := slots < 0
+	if annulled {
+		slots = -slots
+	}
+	for s := 1; s <= slots; s++ {
+		wi, ok := byTime[w.time+s]
+		if !ok {
+			v.addf(bi, ti, w.time, KindControl,
+				"delay slot %d of %s is missing: no instruction word at cycle %d",
+				s, in.Tmpl.Mnemonic, w.time+s)
+			continue
+		}
+		for _, si := range ws[wi].insts {
+			sin := b.Insts[si]
+			if sin.Tmpl == v.m.Nop {
+				continue
+			}
+			switch {
+			case sin.Tmpl.Transfers():
+				v.addf(bi, si, ws[wi].time, KindControl,
+					"control transfer %s sits in a delay slot of %s",
+					sin.Tmpl.Mnemonic, in.Tmpl.Mnemonic)
+			case annulled:
+				v.addf(bi, si, ws[wi].time, KindControl,
+					"%s sits in a taken-only (annulled) delay slot of %s: it is skipped on fall-through",
+					sin.Tmpl.Mnemonic, in.Tmpl.Mnemonic)
+			case !slotSafe(sin):
+				v.addf(bi, si, ws[wi].time, KindControl,
+					"%s is not safe in a delay slot of %s",
+					sin.Tmpl.Mnemonic, in.Tmpl.Mnemonic)
+			}
+		}
+	}
+}
+
+// slotSafe reports whether an instruction may legally occupy an
+// always-executed delay slot: no control transfer, no implicit
+// register traffic, and no temporal-pipeline interaction (a clock tick
+// in a slot would advance latches the surrounding code depends on).
+func slotSafe(in *asm.Inst) bool {
+	t := in.Tmpl
+	return !t.Transfers() &&
+		len(in.ImpUses) == 0 && len(in.ImpDefs) == 0 &&
+		len(t.ReadsTRegs) == 0 && len(t.WritesTRegs) == 0 &&
+		t.AffectsClock < 0
+}

@@ -1,0 +1,64 @@
+package verify
+
+import "marion/internal/asm"
+
+// word is one long instruction word: the set of instructions issued in
+// the same cycle of a block's in-order timeline.
+type word struct {
+	time  int   // issue cycle relative to the block start
+	insts []int // indices into b.Insts
+}
+
+// timeline groups a block's instructions into issue words and assigns
+// each word a cycle, reconstructing the in-order issue timeline the
+// machine sees.
+//
+// Scheduled instructions (Cycle >= 0) carry the scheduler's issue
+// cycle: consecutive instructions with equal cycles form one word, and
+// the gap between two scheduled words is the scheduler's cycle delta
+// (preserving deliberate stall gaps, e.g. a load shadow left empty).
+// Unscheduled instructions (Cycle < 0: the prologue/epilogue code
+// internal/strategy/frame.go inserts after scheduling) each occupy a
+// word of their own one cycle after their predecessor — they rely on
+// hardware interlocks by design, and latency checks exempt them
+// (checkDataHazards), but they still consume issue slots.
+//
+// A scheduled cycle that decreases along the block is reported as a
+// malformed schedule.
+func (v *verifier) timeline(bi int, b *asm.Block) []word {
+	var ws []word
+	times := make([]int, len(b.Insts))
+	t := -1
+	prev := -1 // last scheduled cycle seen, -1 before the first
+	for i := 0; i < len(b.Insts); {
+		c := b.Insts[i].Cycle
+		j := i + 1
+		if c >= 0 {
+			for j < len(b.Insts) && b.Insts[j].Cycle == c {
+				j++
+			}
+		}
+		switch {
+		case c >= 0 && prev >= 0 && c > prev:
+			t += c - prev
+		case c >= 0 && prev >= 0 && c < prev:
+			v.addf(bi, i, t+1, KindSchedule,
+				"issue cycle %d follows cycle %d: block schedule is not nondecreasing", c, prev)
+			t++
+		default:
+			t++
+		}
+		if c >= 0 {
+			prev = c
+		}
+		w := word{time: t}
+		for k := i; k < j; k++ {
+			w.insts = append(w.insts, k)
+			times[k] = t
+		}
+		ws = append(ws, w)
+		i = j
+	}
+	v.times[bi] = times
+	return ws
+}

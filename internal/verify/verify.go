@@ -1,0 +1,294 @@
+// Package verify is a machine-description-driven verifier for emitted
+// code: it takes a compiled function plus its machine tables and
+// statically re-checks every invariant the scheduler and register
+// allocator are supposed to establish, reporting structured
+// per-instruction findings instead of silently trusting the back end.
+//
+// The checks are derived from the same Maril constructs that drive code
+// generation — latencies and %aux overrides, per-cycle resource
+// vectors, long-word packing classes, clocks and +temporal latches,
+// delay-slot counts, and the CWVM register conventions — but the
+// verifier shares no code with internal/sched, internal/cdag or
+// internal/regalloc: it replays the emitted schedule from the machine
+// tables alone, so a bug in the scheduler's dependence DAG or the
+// allocator's interference graph cannot hide itself. See DESIGN.md §8
+// for the invariant catalogue.
+//
+// Invariants checked per function:
+//
+//   - schedule:  issue cycles are nondecreasing within a block.
+//   - latency:   every data-dependent consumer issues at least the
+//     producer's (auxiliary-adjusted) latency later.
+//   - resource:  replaying the per-cycle resource vectors over the
+//     block never oversubscribes a stage, and every multi-op word is a
+//     legal long-word packing (nonempty class intersection).
+//   - temporal:  every +temporal latch read pairs with the same
+//     sequence's write, after its latency, and no intervening tick of
+//     the latch's clock destroyed the value (EAP advancement).
+//   - control:   every control transfer has its delay slots present,
+//     adjacent, and filled with nops or slot-safe instructions.
+//   - register:  a dataflow pass over emitted code proves no use of a
+//     possibly-undefined register, no call clobbering a live value, no
+//     two writes to one register in a word, and no unsaved callee-save
+//     register being overwritten.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"marion/internal/asm"
+	"marion/internal/mach"
+)
+
+// Kind classifies a finding by the invariant it violates.
+type Kind uint8
+
+const (
+	KindSchedule Kind = iota // malformed schedule (non-monotone cycles)
+	KindLatency              // data dependence issued inside the latency window
+	KindResource             // resource oversubscription / illegal packing
+	KindTemporal             // temporal-latch / clock-advancement violation
+	KindControl              // delay-slot structure violation
+	KindRegister             // undefined use / live-value clobber
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSchedule:
+		return "schedule"
+	case KindLatency:
+		return "latency"
+	case KindResource:
+		return "resource"
+	case KindTemporal:
+		return "temporal"
+	case KindControl:
+		return "control"
+	case KindRegister:
+		return "register"
+	}
+	return fmt.Sprintf("kind%d", int(k))
+}
+
+// Kinds lists every finding kind.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Finding is one invariant violation, anchored to an instruction.
+type Finding struct {
+	Kind  Kind
+	Func  string
+	Block string
+	Index int // instruction index within the block
+	Cycle int // issue cycle on the block's in-order timeline, -1 if unknown
+	Msg   string
+}
+
+func (f Finding) String() string {
+	at := fmt.Sprintf("%s/%s#%d", f.Func, f.Block, f.Index)
+	if f.Cycle >= 0 {
+		at += fmt.Sprintf("@%d", f.Cycle)
+	}
+	return fmt.Sprintf("%s: %s: %s", at, f.Kind, f.Msg)
+}
+
+// Report accumulates the findings for one function (or, merged, for a
+// whole program). A nil *Report reports no findings.
+type Report struct {
+	Findings []Finding
+}
+
+// Empty reports whether the report has no findings.
+func (r *Report) Empty() bool { return r == nil || len(r.Findings) == 0 }
+
+// Count returns the number of findings of one kind.
+func (r *Report) Count(k Kind) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range r.Findings {
+		if f.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge appends another report's findings.
+func (r *Report) Merge(o *Report) {
+	if o != nil {
+		r.Findings = append(r.Findings, o.Findings...)
+	}
+}
+
+// Err returns nil for an empty report, or an error listing every
+// finding.
+func (r *Report) Err() error {
+	if r.Empty() {
+		return nil
+	}
+	return fmt.Errorf("verify: %d finding(s):\n%s", len(r.Findings), r.String())
+}
+
+func (r *Report) String() string {
+	if r == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for i, f := range r.Findings {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString("  " + f.String())
+	}
+	return sb.String()
+}
+
+// Options tune the verifier to the scheduling mode that produced the
+// code, so the verifier checks exactly the invariants the scheduler was
+// asked to establish.
+type Options struct {
+	// IssueOnly mirrors sched.Options.CurrentCycleOnly: structural
+	// hazards are checked only at each instruction's issue cycle
+	// (later cycles of its resource vector are reserved but may
+	// legally collide, as on a machine with hardware interlocks).
+	IssueOnly bool
+}
+
+// Func verifies one compiled function against its machine description
+// and returns the findings (never nil).
+func Func(m *mach.Machine, af *asm.Func, opts Options) *Report {
+	v := &verifier{m: m, af: af, opts: opts, report: &Report{}}
+	v.run()
+	return v.report
+}
+
+// Program verifies every function of a compiled program and returns the
+// merged findings.
+func Program(p *asm.Program, opts Options) *Report {
+	r := &Report{}
+	for _, f := range p.Funcs {
+		if f != nil {
+			r.Merge(Func(p.Machine, f, opts))
+		}
+	}
+	return r
+}
+
+// verifier carries the per-function verification state.
+type verifier struct {
+	m      *mach.Machine
+	af     *asm.Func
+	opts   Options
+	report *Report
+
+	// times[b][i] is the issue cycle of instruction i of block b on the
+	// block's in-order timeline (see timeline.go).
+	times [][]int
+}
+
+func (v *verifier) run() {
+	v.times = make([][]int, len(v.af.Blocks))
+	for bi, b := range v.af.Blocks {
+		ws := v.timeline(bi, b)
+		v.checkDataHazards(bi, b, ws)
+		v.checkResources(bi, b, ws)
+		v.checkControl(bi, b, ws)
+	}
+	v.checkDefiniteAssignment()
+	v.checkClobbers()
+}
+
+func (v *verifier) addf(bi, idx, cycle int, k Kind, format string, args ...any) {
+	v.report.Findings = append(v.report.Findings, Finding{
+		Kind:  k,
+		Func:  v.af.Name,
+		Block: v.af.Blocks[bi].Label(),
+		Index: idx,
+		Cycle: cycle,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// regKey names one dataflow location: a physical register (>= 0) or a
+// pseudo-register (< 0; pre-allocation code in unit tests).
+type regKey int64
+
+func pseudoKey(p asm.PseudoID) regKey { return regKey(-int64(p) - 1) }
+
+// keys expands an operand into the dataflow locations it touches; a
+// physical register expands to every alias (wide/narrow overlap).
+func (v *verifier) keys(o asm.Operand) []regKey {
+	switch o.Kind {
+	case asm.OpPhys:
+		as := v.m.Aliases(o.Phys)
+		ks := make([]regKey, len(as))
+		for i, a := range as {
+			ks[i] = regKey(a)
+		}
+		return ks
+	case asm.OpPseudo, asm.OpPseudoHalf:
+		return []regKey{pseudoKey(o.Pseudo)}
+	}
+	return nil
+}
+
+// isHardPhys reports whether the operand is a hard-wired register (a
+// read of which carries no dependence).
+func (v *verifier) isHardPhys(o asm.Operand) bool {
+	if o.Kind != asm.OpPhys {
+		return false
+	}
+	_, hard := v.m.IsHard(o.Phys)
+	return hard
+}
+
+// latencyOf computes the required issue distance from a producing
+// instruction to a consumer, applying the description's %aux overrides.
+// This is derived directly from the machine tables (m.AuxLats), not
+// from the scheduler's DAG builder.
+func (v *verifier) latencyOf(d, in *asm.Inst) int {
+	lat := d.Tmpl.Latency
+	for _, a := range v.m.AuxLats {
+		if a.First != d.Tmpl.Mnemonic || a.Second != in.Tmpl.Mnemonic {
+			continue
+		}
+		if a.FirstOp == 0 && a.SecondOp == 0 {
+			lat = a.Latency // unconditional form
+			continue
+		}
+		fi, si := a.FirstOp-1, a.SecondOp-1
+		if fi >= 0 && si >= 0 && fi < len(d.Args) && si < len(in.Args) &&
+			d.Args[fi] == in.Args[si] {
+			lat = a.Latency
+		}
+	}
+	return lat
+}
+
+// resNames renders a resource set for a finding message.
+func (v *verifier) resNames(rs mach.ResSet) string {
+	var names []string
+	for i, name := range v.m.Resources {
+		if rs.Has(mach.ResID(i)) {
+			names = append(names, name)
+		}
+	}
+	return strings.Join(names, ",")
+}
+
+// regName renders a dataflow location for a finding message.
+func (v *verifier) regName(k regKey) string {
+	if k < 0 {
+		return fmt.Sprintf("t%d", -int64(k)-1)
+	}
+	return v.m.PhysName(mach.PhysID(k))
+}

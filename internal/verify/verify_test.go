@@ -1,0 +1,148 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"marion/internal/asm"
+	"marion/internal/ir"
+	"marion/internal/maril"
+	"marion/internal/verify"
+)
+
+// unitDesc is a minimal machine for hand-built schedules: a 3-cycle
+// load, a 1-cycle add, and an %aux override that stretches the
+// load->add latency to 5 when the add's first source is the loaded
+// register.
+const unitDesc = `
+declare {
+    %reg r[0:7] (int, ptr);
+    %reg f[0:7] (double);
+    %resource IEX, MEM;
+    %def imm [-32768:32767];
+    %memory m[0:65535];
+}
+cwvm {
+    %general (int, ptr) r; %general (double) f;
+    %allocable r[1:5], f[1:5]; %calleesave r[4:5];
+    %sp r[7]; %fp r[6]; %retaddr r[1]; %hard r[0] 0;
+    %result r[2] (int);
+}
+instr {
+    %instr ld r, r, #imm {$1 = m[$2 + $3];} [IEX; MEM] (1,3,0)
+    %instr add r, r, r {$1 = $2 + $3;} [IEX] (1,1,0)
+    %instr nop {;} [IEX] (1,1,0)
+    %aux ld : add (1.$1 == 2.$2) (5)
+}
+`
+
+func unitFunc(t *testing.T, insts ...*asm.Inst) *asm.Func {
+	t.Helper()
+	fn := ir.NewFunc("t", ir.Void)
+	irb := fn.NewBlock()
+	af := &asm.Func{Name: "t", IR: fn}
+	af.Blocks = []*asm.Block{{IR: irb, Insts: insts}}
+	return af
+}
+
+func TestNonMonotoneCyclesFlagged(t *testing.T) {
+	m, err := maril.Parse("unit", unitDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := m.InstrByLabel("add")
+	i0 := asm.New(add, asm.Reg(0), asm.Reg(1), asm.Reg(1))
+	i1 := asm.New(add, asm.Reg(2), asm.Reg(1), asm.Reg(1))
+	i0.Cycle, i1.Cycle = 2, 1
+	af := unitFunc(t, i0, i1)
+	af.NewPseudo(m.RegSet("r"), ir.NoReg)
+	af.NewPseudo(m.RegSet("r"), ir.NoReg)
+	af.NewPseudo(m.RegSet("r"), ir.NoReg)
+	rep := verify.Func(m, af, verify.Options{})
+	if rep.Count(verify.KindSchedule) == 0 {
+		t.Errorf("non-monotone cycles not flagged; report:\n%s", rep)
+	}
+}
+
+func TestLatencyWindowFlagged(t *testing.T) {
+	m, err := maril.Parse("unit", unitDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.RegSet("r")
+	ld := m.InstrByLabel("ld")
+	add := m.InstrByLabel("add")
+	// ld t0 at 0 (latency 3); a dependent add at 1 sits inside the
+	// window. t0 feeds the add's SECOND source so the %aux override
+	// (which matches the first source) stays out of the way.
+	i0 := asm.New(ld, asm.Reg(0), asm.Phys(r.Phys(6)), asm.Imm(0))
+	i1 := asm.New(add, asm.Reg(1), asm.Reg(2), asm.Reg(0))
+	i0.Cycle, i1.Cycle = 0, 1
+	af := unitFunc(t, i0, i1)
+	for i := 0; i < 3; i++ {
+		af.NewPseudo(r, ir.NoReg)
+	}
+	rep := verify.Func(m, af, verify.Options{})
+	if rep.Count(verify.KindLatency) == 0 {
+		t.Errorf("latency violation not flagged; report:\n%s", rep)
+	}
+	// At distance 3 the same pair is legal.
+	i1.Cycle = 3
+	if rep := verify.Func(m, af, verify.Options{}); !rep.Empty() {
+		t.Errorf("legal schedule flagged:\n%s", rep)
+	}
+}
+
+func TestAuxLatencyOverride(t *testing.T) {
+	m, err := maril.Parse("unit", unitDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.RegSet("r")
+	ld := m.InstrByLabel("ld")
+	add := m.InstrByLabel("add")
+	// t0 feeds the add's FIRST source, so %aux ld:add raises the
+	// required distance from 3 to 5: distance 3 must now be flagged.
+	i0 := asm.New(ld, asm.Reg(0), asm.Phys(r.Phys(6)), asm.Imm(0))
+	i1 := asm.New(add, asm.Reg(1), asm.Reg(0), asm.Reg(2))
+	i0.Cycle, i1.Cycle = 0, 3
+	af := unitFunc(t, i0, i1)
+	for i := 0; i < 3; i++ {
+		af.NewPseudo(r, ir.NoReg)
+	}
+	rep := verify.Func(m, af, verify.Options{})
+	if rep.Count(verify.KindLatency) == 0 {
+		t.Errorf("%%aux-stretched latency not flagged; report:\n%s", rep)
+	}
+	i1.Cycle = 5
+	if rep := verify.Func(m, af, verify.Options{}); !rep.Empty() {
+		t.Errorf("schedule legal under %%aux flagged:\n%s", rep)
+	}
+}
+
+func TestReportBasics(t *testing.T) {
+	var nilRep *verify.Report
+	if !nilRep.Empty() || nilRep.Count(verify.KindLatency) != 0 || nilRep.Err() != nil {
+		t.Error("nil report must behave as empty")
+	}
+	r := &verify.Report{Findings: []verify.Finding{
+		{Kind: verify.KindControl, Func: "f", Block: "b0", Index: 2, Cycle: 7, Msg: "boom"},
+	}}
+	r.Merge(nilRep)
+	r.Merge(&verify.Report{Findings: []verify.Finding{
+		{Kind: verify.KindControl, Func: "f", Block: "b1", Index: 0, Cycle: -1, Msg: "pow"},
+	}})
+	if r.Count(verify.KindControl) != 2 || r.Empty() {
+		t.Errorf("merge lost findings: %v", r.Findings)
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "2 finding(s)") {
+		t.Errorf("Err() = %v", err)
+	}
+	s := r.String()
+	if !strings.Contains(s, "f/b0#2@7: control: boom") {
+		t.Errorf("String() = %q", s)
+	}
+	if len(verify.Kinds()) < 6 {
+		t.Errorf("Kinds() = %v", verify.Kinds())
+	}
+}
