@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench benchsmoke verify-all ci
+.PHONY: build test vet race bench benchsmoke verify-all chaos ci
 
 TARGETS    := r2000 r2000s m88000 i860 rs6000 toyp
 STRATEGIES := naive postpass ips rase local
@@ -47,4 +47,12 @@ verify-all:
 	  echo "verify-all: $$f clean on all targets/strategies"; \
 	done
 
-ci: build vet test race benchsmoke verify-all
+# Chaos sweep: arm every fault-injection site x mode (panic, err, hang)
+# on every target under every strategy and prove the process never
+# dies — each faulted function walks the degradation ladder and the
+# fallback output re-verifies clean. Any outright failure or verifier
+# finding fails the build.
+chaos:
+	$(GO) run ./cmd/marionstats -faultmatrix
+
+ci: build vet test race benchsmoke verify-all chaos

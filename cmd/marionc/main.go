@@ -8,6 +8,9 @@
 //	marionc -target i860 -strategy ips -stats file.c
 //	marionc -target r2000 -verify file.c
 //	marionc -target r2000 -workers 8 file.c
+//	marionc -target r2000 -timeout 2s file.c
+//	marionc -target r2000 -strict -timeout 2s file.c
+//	marionc -target r2000 -faults 'select:panic@fn=3' file.c
 //
 // -workers bounds the parallel per-function back end (default
 // GOMAXPROCS); the emitted assembly is identical for any worker count.
@@ -15,8 +18,21 @@
 // (internal/verify); findings are printed per instruction and make the
 // exit status non-zero.
 //
+// -timeout is the per-function compilation budget: a function that
+// exceeds it fails with a typed budget error instead of hanging the
+// compiler. On failure or budget exhaustion the function is retried
+// down the degradation ladder (RASE -> IPS -> Postpass -> Safe), each
+// fallback re-verified against the machine description before
+// acceptance; every degradation prints a note. -strict disables the
+// ladder: the failure becomes a per-function diagnostic and a non-zero
+// exit.
+//
+// -faults (or MARION_FAULTS) arms the deterministic fault-injection
+// harness (internal/faults) for chaos testing.
+//
 // When compilation fails, marionc prints EVERY structured diagnostic —
-// one line per failing function with its phase — not just the first.
+// one line per failing function with its phase — not just the first;
+// a recovered phase panic prints its (normalized) stack.
 package main
 
 import (
@@ -27,8 +43,10 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"marion/internal/core"
+	"marion/internal/faults"
 	"marion/internal/pipeline"
 	"marion/internal/strategy"
 	"marion/internal/verify"
@@ -53,6 +71,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "parallel back end workers (0 = GOMAXPROCS)")
 	doVerify := fs.Bool("verify", false,
 		"re-check emitted code against the machine description; findings fail the build")
+	timeout := fs.Duration("timeout", 0,
+		"per-function compilation budget (0 = none); exceeding it degrades or fails the function")
+	strict := fs.Bool("strict", false,
+		"disable the graceful-degradation ladder: failures and budget exhaustion are fatal")
+	faultSpec := fs.String("faults", os.Getenv("MARION_FAULTS"),
+		"fault-injection spec, e.g. 'select:panic@fn=3' (default $MARION_FAULTS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -76,15 +100,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
+	fset, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "marionc:", err)
+		return 2
+	}
 	gen, err := core.New(*target, kind)
 	if err != nil {
 		return fail(stderr, err)
 	}
 	gen.Workers = *workers
 	gen.Verify = *doVerify
+	gen.Budget = time.Duration(*timeout)
+	gen.Strict = *strict
+	gen.Faults = fset
 	res, err := gen.Compile(file, string(src))
 	if err != nil {
 		return fail(stderr, err)
+	}
+	for _, d := range res.Degradations {
+		fmt.Fprintf(stderr, "marionc: note: %s\n", d.String())
 	}
 	text := res.Program.Print()
 	if *out != "" {
@@ -124,6 +159,12 @@ func fail(stderr io.Writer, err error) int {
 		fmt.Fprintf(stderr, "marionc: %d function(s) failed:\n", len(all))
 		for _, d := range all {
 			fmt.Fprintf(stderr, "  %s: %s: %v\n", d.Func, d.Phase, d.Err)
+			var pe *pipeline.PanicError
+			if errors.As(d.Err, &pe) {
+				for _, line := range strings.Split(pe.Stack, "\n") {
+					fmt.Fprintf(stderr, "    %s\n", line)
+				}
+			}
 		}
 		return 1
 	}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const robustSrc = `
+int one() { return 1; }
+int two(int x) { return x + x; }
+int three(int x, int y) { return x * y; }
+`
+
+// TestFaultDegradesWithNote pins the non-strict contract: an injected
+// failure degrades down the ladder, the compile succeeds (exit 0, full
+// assembly) and every degradation prints a note.
+func TestFaultDegradesWithNote(t *testing.T) {
+	file := writeTemp(t, "r.c", robustSrc)
+	var out, errb strings.Builder
+	code := run([]string{"-target", "r2000", "-faults", "select:panic@fn=one",
+		"-verify", file}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "marionc: note: one: degraded postpass -> safe") {
+		t.Errorf("missing degradation note:\n%s", errb.String())
+	}
+	for _, fn := range []string{"one:", "two:", "three:"} {
+		if !strings.Contains(out.String(), fn) {
+			t.Errorf("assembly missing %s\n%s", fn, out.String())
+		}
+	}
+}
+
+// TestStrictFaultFailsWithStack pins -strict: the same fault is a hard
+// failure (exit 1) whose diagnostic carries the normalized panic stack.
+func TestStrictFaultFailsWithStack(t *testing.T) {
+	file := writeTemp(t, "r.c", robustSrc)
+	var out, errb strings.Builder
+	code := run([]string{"-target", "r2000", "-strict", "-faults",
+		"select:panic@fn=one", file}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	got := errb.String()
+	for _, want := range []string{
+		"1 function(s) failed",
+		"one: select: panic in select: injected panic at select (one)",
+		"goroutine N", // normalized stack, printed indented
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stderr missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestTimeoutConvertsHangs pins -timeout: a hang-mode fault resolves
+// into a budget error and degrades instead of wedging the compiler.
+func TestTimeoutConvertsHangs(t *testing.T) {
+	file := writeTemp(t, "r.c", robustSrc)
+	var out, errb strings.Builder
+	code := run([]string{"-target", "r2000", "-timeout", "20ms", "-faults",
+		"sched:hang@fn=two", file}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	note := errb.String()
+	if !strings.Contains(note, "two: degraded") || !strings.Contains(note, "budget exceeded") {
+		t.Errorf("missing budget degradation note:\n%s", note)
+	}
+
+	// Strict: the budget exhaustion is a per-function diagnostic and a
+	// non-zero exit.
+	var out2, errb2 strings.Builder
+	code = run([]string{"-target", "r2000", "-strict", "-timeout", "20ms",
+		"-faults", "sched:hang@fn=two", file}, &out2, &errb2)
+	if code != 1 {
+		t.Fatalf("strict exit %d, want 1; stderr: %s", code, errb2.String())
+	}
+	if !strings.Contains(errb2.String(), "two:") ||
+		!strings.Contains(errb2.String(), "budget exceeded") {
+		t.Errorf("strict stderr missing budget diagnostic:\n%s", errb2.String())
+	}
+}
+
+// TestBadFaultSpecIsUsageError pins spec validation: a typo'd site
+// cannot silently arm nothing.
+func TestBadFaultSpecIsUsageError(t *testing.T) {
+	file := writeTemp(t, "r.c", robustSrc)
+	var out, errb strings.Builder
+	if code := run([]string{"-faults", "bogus:panic", file}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown site") {
+		t.Errorf("stderr = %s", errb.String())
+	}
+}
+
+// TestFaultsEnvFallback pins the MARION_FAULTS environment fallback.
+func TestFaultsEnvFallback(t *testing.T) {
+	t.Setenv("MARION_FAULTS", "select:err@fn=one")
+	file := writeTemp(t, "r.c", robustSrc)
+	var out, errb strings.Builder
+	if code := run([]string{"-target", "r2000", file}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "one: degraded") {
+		t.Errorf("env-armed fault did not degrade:\n%s", errb.String())
+	}
+}
+
+// TestFaultedOutputDeterministicAcrossWorkers pins satellite (d): the
+// same fault spec at -workers 1, 4 and 8 yields byte-identical output
+// and notes on both streams.
+func TestFaultedOutputDeterministicAcrossWorkers(t *testing.T) {
+	file := writeTemp(t, "r.c", robustSrc)
+	args := []string{"-target", "r2000", "-timeout", "30ms", "-faults",
+		"select:panic@fn=0;sched:hang@fn=1"}
+	shot := func(workers string) (string, string) {
+		var out, errb strings.Builder
+		code := run(append(append([]string{}, args...), "-workers", workers, file),
+			&out, &errb)
+		if code != 0 {
+			t.Fatalf("workers=%s exit %d, stderr: %s", workers, code, errb.String())
+		}
+		return out.String(), errb.String()
+	}
+	out1, err1 := shot("1")
+	if !strings.Contains(err1, "degraded") {
+		t.Fatalf("baseline did not degrade:\n%s", err1)
+	}
+	for _, w := range []string{"4", "8"} {
+		out, errw := shot(w)
+		if out != out1 {
+			t.Errorf("workers=%s assembly differs from workers=1", w)
+		}
+		if errw != err1 {
+			t.Errorf("workers=%s notes differ:\n%q\nvs\n%q", w, errw, err1)
+		}
+	}
+
+	// Strict failures are deterministic too (stacks are normalized).
+	strict := []string{"-target", "r2000", "-strict", "-timeout", "30ms",
+		"-faults", "select:panic@fn=0;sched:hang@fn=1"}
+	strictShot := func(workers string) string {
+		var out, errb strings.Builder
+		code := run(append(append([]string{}, strict...), "-workers", workers, file),
+			&out, &errb)
+		if code != 1 {
+			t.Fatalf("strict workers=%s exit %d", workers, code)
+		}
+		return errb.String()
+	}
+	base := strictShot("1")
+	for _, w := range []string{"4", "8"} {
+		if got := strictShot(w); got != base {
+			t.Errorf("strict workers=%s diagnostics differ:\n%q\nvs\n%q", w, got, base)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	marionstats -fig7           # i860 dual-operation schedule
 //	marionstats -selstats       # selection index/memoization work counts
 //	marionstats -verify         # emitted-code verification matrix (expect all-zero)
+//	marionstats -faultmatrix    # chaos sweep: per-site/per-target degradation matrix
 //	marionstats -all
 package main
 
@@ -31,6 +32,8 @@ func main() {
 	selstats := flag.Bool("selstats", false, "selection template-index and memoization work counts")
 	verifyFlag := flag.Bool("verify", false,
 		"run the emitted-code verifier over the Livermore suite on every target x strategy")
+	faultmatrix := flag.Bool("faultmatrix", false,
+		"chaos sweep: inject every fault site x mode on every target x strategy; any outright failure or verifier finding is fatal")
 	all := flag.Bool("all", false, "everything")
 	target := flag.String("target", "r2000", "target for tables 3/4 and speedups")
 	loops := flag.Int("loops", 1, "kernel repetition count")
@@ -133,6 +136,26 @@ func main() {
 			for _, r := range rows {
 				if r.Findings > 0 {
 					return fmt.Errorf("%s/%s: %d finding(s)", r.Target, r.Strategy, r.Findings)
+				}
+			}
+			return nil
+		})
+	}
+	if *all || *faultmatrix {
+		run("faultmatrix", func() error {
+			tnames := core.Targets()
+			cells, err := experiments.FaultMatrix(tnames,
+				[]strategy.Kind{strategy.Naive, strategy.Postpass, strategy.IPS,
+					strategy.RASE, strategy.Local},
+				*workers)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFaultMatrix(cells, tnames))
+			for _, c := range cells {
+				if c.Failed > 0 || c.Findings > 0 {
+					return fmt.Errorf("%s:%s %s/%s: %d failure(s), %d finding(s)",
+						c.Site, c.Mode, c.Target, c.Strategy, c.Failed, c.Findings)
 				}
 			}
 			return nil

@@ -8,14 +8,17 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"marion/internal/asm"
 	"marion/internal/cc"
 	"marion/internal/driver"
+	"marion/internal/faults"
 	"marion/internal/ilgen"
 	"marion/internal/ir"
 	"marion/internal/mach"
 	"marion/internal/maril"
+	"marion/internal/pipeline"
 	"marion/internal/sim"
 	"marion/internal/strategy"
 	"marion/internal/targets"
@@ -51,6 +54,15 @@ type CodeGenerator struct {
 	// (internal/verify) over the emitted code; findings land in
 	// Result.Verify.
 	Verify bool
+	// Budget is the per-function wall-clock deadline; 0 means none. A
+	// function exceeding it fails with a typed budget error (and, unless
+	// Strict is set, is retried down the degradation ladder).
+	Budget time.Duration
+	// Strict disables the graceful-degradation ladder.
+	Strict bool
+	// Faults arms the deterministic fault-injection harness
+	// (internal/faults) for chaos testing.
+	Faults *faults.Set
 }
 
 // New builds a code generator for a shipped target.
@@ -80,6 +92,9 @@ type Result struct {
 	// Verify holds the emitted-code verifier's findings; non-nil
 	// exactly when CodeGenerator.Verify was set.
 	Verify *verify.Report
+	// Degradations lists every function emitted by a fallback rung of
+	// the degradation ladder (source order, each re-verified clean).
+	Degradations []pipeline.Degradation
 }
 
 // Compile compiles C-subset source text.
@@ -99,12 +114,13 @@ func (g *CodeGenerator) Compile(filename, source string) (*Result, error) {
 func (g *CodeGenerator) CompileModule(mod *ir.Module) (*Result, error) {
 	c, err := driver.CompileModule(g.Machine, mod, driver.Config{
 		Strategy: g.Strategy, Options: g.Options, Workers: g.Workers,
-		Verify: g.Verify,
+		Verify: g.Verify, Budget: g.Budget, Strict: g.Strict, Faults: g.Faults,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Program: c.Prog, Module: c.Module, Stats: c.Stats, Verify: c.Verify}, nil
+	return &Result{Program: c.Prog, Module: c.Module, Stats: c.Stats,
+		Verify: c.Verify, Degradations: c.Degradations}, nil
 }
 
 // Execute runs a compiled function on the timing simulator and returns

@@ -16,6 +16,7 @@ import (
 
 	"marion/internal/asm"
 	"marion/internal/cc"
+	"marion/internal/faults"
 	"marion/internal/ilgen"
 	"marion/internal/ir"
 	"marion/internal/mach"
@@ -46,6 +47,14 @@ type Config struct {
 	// <= 0 means runtime.GOMAXPROCS(0). Output is identical for any
 	// worker count.
 	Workers int
+	// Budget is the per-function wall-clock deadline (0 = none); see
+	// pipeline.Config.Budget.
+	Budget time.Duration
+	// Strict disables the graceful-degradation ladder: failures are
+	// reported instead of retried on weaker strategies.
+	Strict bool
+	// Faults arms the deterministic fault-injection harness.
+	Faults *faults.Set
 }
 
 // Compiled is the result of one compilation.
@@ -64,6 +73,10 @@ type Compiled struct {
 	// Verify merges every function's verifier findings (source order);
 	// non-nil exactly when Config.Verify was set.
 	Verify *verify.Report
+	// Degradations lists, in source order, every function the
+	// degradation ladder emitted via a fallback rung (each one
+	// re-verified clean before acceptance).
+	Degradations []pipeline.Degradation
 }
 
 // Compile compiles a C translation unit for the configured target.
@@ -125,6 +138,9 @@ func CompileModuleCtx(ctx context.Context, m *mach.Machine, mod *ir.Module, cfg 
 		LinearSelect: cfg.LinearSelect,
 		Verify:       cfg.Verify,
 		Workers:      cfg.Workers,
+		Budget:       cfg.Budget,
+		Strict:       cfg.Strict,
+		Faults:       cfg.Faults,
 	})
 	if err := diags.Err(); err != nil {
 		return nil, err
@@ -138,6 +154,9 @@ func CompileModuleCtx(ctx context.Context, m *mach.Machine, mod *ir.Module, cfg 
 		out.Sel.Add(r.Sel)
 		if out.Verify != nil {
 			out.Verify.Merge(r.Verify)
+		}
+		if r.Fallback != nil {
+			out.Degradations = append(out.Degradations, *r.Fallback)
 		}
 		for _, pt := range r.Timings {
 			out.PhaseTimes[pt.Phase] += pt.Time

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"marion/internal/cc"
+	"marion/internal/driver"
+	"marion/internal/faults"
+	"marion/internal/ilgen"
+	"marion/internal/ir"
+	"marion/internal/pipeline"
+	"marion/internal/strategy"
+	"marion/internal/targets"
+)
+
+// ---------------------------------------------------------------------
+// Fault-injection degradation matrix.
+//
+// The chaos sweep arms one fault at a time — every injection site ×
+// every mode (panic, err, hang) — and compiles a small module for every
+// target × strategy with the degradation ladder and the emitted-code
+// verifier enabled. A robust back end never lets the process die: each
+// faulted function degrades one rung and the fallback output verifies
+// clean. Any outright failure or verifier finding is a defect.
+
+// chaosBudget bounds each per-function attempt so hang-mode faults
+// resolve into typed budget errors instead of stalling the sweep.
+const chaosBudget = 30 * time.Millisecond
+
+// chaosSrc is the module every cell compiles: small enough that the
+// sweep stays fast, mixed enough (integer loop, float expression, call)
+// to reach every injection site on every target.
+const chaosSrc = `
+int ker(int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) s += i * i;
+    return s;
+}
+double mix(double a, double b) { return a * b + a - b; }
+int use(int n) { return ker(n) + ker(n + 1); }
+`
+
+func chaosModule() (*ir.Module, error) {
+	f, err := cc.Compile("chaos.c", chaosSrc)
+	if err != nil {
+		return nil, err
+	}
+	return ilgen.Lower(f)
+}
+
+// FaultCell is one sweep cell: one armed fault, one target, one
+// strategy.
+type FaultCell struct {
+	Site     string
+	Mode     faults.Mode
+	Target   string
+	Strategy strategy.Kind
+	Funcs    int // functions in the module
+	Degraded int // functions emitted via a fallback rung
+	Rungs    []string
+	Failed   int // functions that failed outright (defect)
+	Findings int // verifier findings on the emitted code (defect)
+}
+
+// FaultMatrix runs the chaos sweep. Faults are armed one at a time on
+// the first attempt only, so the ladder gets a clean retry; a site that
+// is never reached under some strategy simply degrades nothing there.
+func FaultMatrix(targetNames []string, strats []strategy.Kind, workers int) ([]FaultCell, error) {
+	var cells []FaultCell
+	for _, site := range faults.Sites() {
+		for _, mode := range []faults.Mode{faults.Panic, faults.Error, faults.Hang} {
+			set, err := faults.Parse(site + ":" + mode.String())
+			if err != nil {
+				return nil, err
+			}
+			for _, tn := range targetNames {
+				m, err := targets.Load(tn)
+				if err != nil {
+					return nil, err
+				}
+				for _, st := range strats {
+					// A fresh module per compile: the back end rewrites
+					// the IL in place.
+					mod, err := chaosModule()
+					if err != nil {
+						return nil, err
+					}
+					cell := FaultCell{
+						Site: site, Mode: mode, Target: tn, Strategy: st,
+						Funcs: len(mod.Funcs),
+					}
+					c, err := driver.CompileModule(m, mod, driver.Config{
+						Strategy: st, Workers: workers,
+						Verify: true, Budget: chaosBudget, Faults: set,
+					})
+					if err != nil {
+						var diags *pipeline.Diagnostics
+						if !errors.As(err, &diags) {
+							return nil, fmt.Errorf("%s:%s %s/%s: %w", site, mode, tn, st, err)
+						}
+						cell.Failed = len(diags.All())
+					} else {
+						cell.Degraded = len(c.Degradations)
+						cell.Findings = len(c.Verify.Findings)
+						rungs := map[string]bool{}
+						for _, d := range c.Degradations {
+							rungs[d.To.String()] = true
+						}
+						for r := range rungs {
+							cell.Rungs = append(cell.Rungs, r)
+						}
+						sort.Strings(cell.Rungs)
+					}
+					cells = append(cells, cell)
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// FormatFaultMatrix renders the sweep as a per-site/per-target matrix:
+// each cell is degraded/total function-compiles summed over the
+// strategies, with "!" marking outright failures or verifier findings.
+func FormatFaultMatrix(cells []FaultCell, targetNames []string) string {
+	type key struct{ site, mode, target string }
+	type agg struct{ degraded, total, failed, findings int }
+	sum := map[key]*agg{}
+	rungs := map[string]map[string]bool{} // site:mode -> rung set
+	for _, c := range cells {
+		k := key{c.Site, c.Mode.String(), c.Target}
+		a := sum[k]
+		if a == nil {
+			a = &agg{}
+			sum[k] = a
+		}
+		a.degraded += c.Degraded
+		a.total += c.Funcs
+		a.failed += c.Failed
+		a.findings += c.Findings
+		rk := c.Site + ":" + c.Mode.String()
+		if rungs[rk] == nil {
+			rungs[rk] = map[string]bool{}
+		}
+		for _, r := range c.Rungs {
+			rungs[rk][r] = true
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Fault-injection degradation matrix: degraded/compiled functions per site x target\n")
+	sb.WriteString("(one armed fault per cell, first attempt only; budget " +
+		chaosBudget.String() + "; all fallbacks re-verified)\n")
+	fmt.Fprintf(&sb, "%-16s", "Site:Mode")
+	for _, tn := range targetNames {
+		fmt.Fprintf(&sb, " %9s", tn)
+	}
+	sb.WriteString("  Rungs\n")
+	totalFailed, totalFindings := 0, 0
+	for _, site := range faults.Sites() {
+		for _, mode := range []string{"panic", "err", "hang"} {
+			rk := site + ":" + mode
+			if rungs[rk] == nil {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-16s", rk)
+			for _, tn := range targetNames {
+				a := sum[key{site, mode, tn}]
+				cellText := fmt.Sprintf("%d/%d", a.degraded, a.total)
+				if a.failed > 0 || a.findings > 0 {
+					cellText += "!"
+					totalFailed += a.failed
+					totalFindings += a.findings
+				}
+				fmt.Fprintf(&sb, " %9s", cellText)
+			}
+			var rs []string
+			for r := range rungs[rk] {
+				rs = append(rs, r)
+			}
+			sort.Strings(rs)
+			fmt.Fprintf(&sb, "  %s\n", strings.Join(rs, ","))
+		}
+	}
+	fmt.Fprintf(&sb, "outright failures: %d, verifier findings: %d\n",
+		totalFailed, totalFindings)
+	return sb.String()
+}

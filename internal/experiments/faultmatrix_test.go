@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"marion/internal/strategy"
+)
+
+// TestFaultMatrixToyp runs the chaos sweep on one cheap target: every
+// site x mode must degrade every function and leave zero outright
+// failures and zero verifier findings.
+func TestFaultMatrixToyp(t *testing.T) {
+	cells, err := FaultMatrix([]string{"toyp"}, []strategy.Kind{strategy.Postpass}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no cells")
+	}
+	for _, c := range cells {
+		if c.Failed != 0 || c.Findings != 0 {
+			t.Errorf("%s:%s %s/%s: %d failure(s), %d finding(s)",
+				c.Site, c.Mode, c.Target, c.Strategy, c.Failed, c.Findings)
+		}
+		if c.Degraded != c.Funcs {
+			t.Errorf("%s:%s %s/%s: degraded %d/%d functions",
+				c.Site, c.Mode, c.Target, c.Strategy, c.Degraded, c.Funcs)
+		}
+	}
+	out := FormatFaultMatrix(cells, []string{"toyp"})
+	for _, want := range []string{"Site:Mode", "sched:hang", "outright failures: 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted matrix missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -370,6 +370,68 @@ func (f *Func) NewBlock() *Block {
 // Entry returns the function's entry block.
 func (f *Func) Entry() *Block { return f.Blocks[0] }
 
+// Clone returns a deep copy of the function: fresh blocks and fresh
+// expression nodes, with DAG sharing preserved (a node shared between
+// statements is cloned once) and branch targets remapped to the cloned
+// blocks. Symbols are shared — the back end never mutates them
+// per-attempt (globals are laid out once per module, local offsets come
+// from the front end) — so a clone can be compiled independently of the
+// original: the degradation ladder retries a failed function on a
+// pristine clone because glue transformation rewrites the IL in place.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:       f.Name,
+		Params:     append([]*Sym(nil), f.Params...),
+		Locals:     append([]*Sym(nil), f.Locals...),
+		Regs:       append([]RegInfo(nil), f.Regs...),
+		RetType:    f.RetType,
+		ParamRegs:  append([]RegID(nil), f.ParamRegs...),
+		LocalFrame: f.LocalFrame,
+		nextBlock:  f.nextBlock,
+	}
+	blocks := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Fn: nf, LoopDepth: b.LoopDepth}
+		blocks[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	nodes := map[*Node]*Node{}
+	var cloneNode func(n *Node) *Node
+	cloneNode = func(n *Node) *Node {
+		if n == nil {
+			return nil
+		}
+		if c, ok := nodes[n]; ok {
+			return c
+		}
+		c := &Node{}
+		*c = *n
+		nodes[n] = c
+		if n.Target != nil {
+			c.Target = blocks[n.Target]
+		}
+		c.Kids = make([]*Node, len(n.Kids))
+		for i, k := range n.Kids {
+			c.Kids[i] = cloneNode(k)
+		}
+		return c
+	}
+	for _, b := range f.Blocks {
+		nb := blocks[b]
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, blocks[s])
+		}
+		for _, p := range b.Preds {
+			nb.Preds = append(nb.Preds, blocks[p])
+		}
+		nb.Stmts = make([]*Node, len(b.Stmts))
+		for i, s := range b.Stmts {
+			nb.Stmts[i] = cloneNode(s)
+		}
+	}
+	return nf
+}
+
 // Module is a translation unit: globals plus functions.
 type Module struct {
 	Name    string

@@ -1,0 +1,33 @@
+package livermore
+
+import (
+	"testing"
+
+	"marion/internal/strategy"
+)
+
+// TestSafeStrategyBuildsEverywhere builds (and therefore verifies: Build
+// runs the emitted-code verifier) every kernel under the degradation
+// ladder's bottom rung on every target. Safe is the rung the pipeline
+// must always be able to fall to, so it has to verify clean wherever
+// selection and allocation succeed — including the i860's temporal
+// pipelines.
+func TestSafeStrategyBuildsEverywhere(t *testing.T) {
+	for _, target := range []string{"r2000", "r2000s", "m88000", "i860", "rs6000", "toyp"} {
+		for i := range Kernels {
+			if _, err := Build(&Kernels[i], target, strategy.Safe); err != nil {
+				t.Errorf("kernel %d on %s/safe: %v", Kernels[i].ID, target, err)
+			}
+		}
+	}
+}
+
+// TestSafeStrategyRunsCorrectly spot-checks that safe-rung output not
+// only verifies but computes the right answers on the simulator.
+func TestSafeStrategyRunsCorrectly(t *testing.T) {
+	for i := range Kernels[:3] {
+		if err := Verify(&Kernels[i], "i860", strategy.Safe, 10); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -13,11 +13,15 @@ package pipeline
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"marion/internal/asm"
+	"marion/internal/budget"
+	"marion/internal/faults"
 	"marion/internal/ir"
 	"marion/internal/mach"
 	"marion/internal/sel"
@@ -48,6 +52,13 @@ type Ctx struct {
 
 	// VerifyEnabled turns on the verify phase (Config.Verify).
 	VerifyEnabled bool
+
+	// Attempt is 0 for the primary compilation and counts up the
+	// degradation ladder's retries.
+	Attempt int
+	// Inject fires this attempt's armed fault-injection sites; nil
+	// injects nothing.
+	Inject *faults.Injector
 
 	// Stats is the per-function statistics sink, filled by the strategy
 	// phase.
@@ -130,6 +141,40 @@ type Config struct {
 	// Workers bounds the per-function worker pool; <= 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
+
+	// Budget is the per-function wall-clock deadline, enforced through
+	// context on every attempt (each ladder rung gets a fresh budget).
+	// The scheduler's cycle loop, the allocator's round loop and
+	// hang-mode faults all observe it, so a hung function becomes a
+	// typed budget error instead of a stuck worker. 0 means no budget.
+	Budget time.Duration
+
+	// Strict disables the graceful-degradation ladder: a function that
+	// fails or exhausts its budget is reported as a diagnostic instead
+	// of being retried down the strategy chain.
+	Strict bool
+
+	// Faults arms the deterministic fault-injection harness
+	// (internal/faults); nil injects nothing.
+	Faults *faults.Set
+}
+
+// Degradation records that a function was emitted by a fallback rung of
+// the degradation ladder rather than the configured strategy.
+type Degradation struct {
+	Func string
+	// From is the configured strategy; To is the rung that succeeded.
+	From, To strategy.Kind
+	// Attempts counts compilations tried, including the successful one.
+	Attempts int
+	// Phase and Reason describe the primary attempt's failure.
+	Phase  string
+	Reason string
+}
+
+func (d *Degradation) String() string {
+	return fmt.Sprintf("%s: degraded %s -> %s after %d attempt(s): %s: %s",
+		d.Func, d.From, d.To, d.Attempts, d.Phase, d.Reason)
 }
 
 // Result is one function's compiled output.
@@ -140,6 +185,13 @@ type Result struct {
 	Sel     sel.Counters
 	Verify  *verify.Report
 	Timings []PhaseTiming
+	// Strategy is the rung that produced Func (the configured strategy
+	// unless the function was degraded).
+	Strategy strategy.Kind
+	// Fallback is non-nil when a degradation-ladder rung produced the
+	// output; its result was re-checked by internal/verify before being
+	// accepted.
+	Fallback *Degradation
 }
 
 // Run compiles every function through the pipeline with a bounded
@@ -176,6 +228,12 @@ func (p *Pipeline) Run(ctx context.Context, m *mach.Machine, funcs []*ir.Func, c
 		}()
 	}
 	for i := range funcs {
+		// A cancelled context stops spawning work: check before every
+		// dispatch so no new function starts after cancellation.
+		if err := ctx.Err(); err != nil {
+			diags.Add(i, funcs[i].Name, "pipeline", err)
+			continue
+		}
 		select {
 		case <-ctx.Done():
 			diags.Add(i, funcs[i].Name, "pipeline", ctx.Err())
@@ -187,30 +245,152 @@ func (p *Pipeline) Run(ctx context.Context, m *mach.Machine, funcs []*ir.Func, c
 	return results, diags
 }
 
-// runOne pushes a single function through every phase, timing each.
-// On phase error it records a diagnostic and returns nil.
+// runOne compiles a single function, walking the degradation ladder on
+// failure: the configured strategy first, then (unless Config.Strict)
+// each fallback rung on a pristine clone of the IR, with every fallback
+// result re-checked by internal/verify before acceptance. When every
+// rung fails, the PRIMARY attempt's error is recorded as the
+// diagnostic, annotated with the number of failed fallbacks.
 func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *ir.Func, cfg Config, diags *Diagnostics) *Result {
+	rungs := []strategy.Kind{cfg.Strategy}
+	if !cfg.Strict {
+		rungs = append(rungs, strategy.FallbackChain(cfg.Strategy)...)
+	}
+	// Glue transformation rewrites the IL in place, so retries need a
+	// pristine copy taken before the primary attempt touches it.
+	var pristine *ir.Func
+	if len(rungs) > 1 {
+		pristine = fn.Clone()
+	}
+
+	var firstErr error
+	var firstPhase string
+	for attempt, kind := range rungs {
+		irFn := fn
+		if attempt > 0 {
+			irFn = pristine.Clone()
+		}
+		res, phase, err := p.tryOne(ctx, m, index, irFn, cfg, kind, attempt)
+		if err == nil {
+			res.IR = fn // report under the module's own *ir.Func
+			if attempt > 0 {
+				res.Fallback = &Degradation{
+					Func:     fn.Name,
+					From:     cfg.Strategy,
+					To:       kind,
+					Attempts: attempt + 1,
+					Phase:    firstPhase,
+					Reason:   firstErr.Error(),
+				}
+			}
+			return res
+		}
+		if attempt == 0 {
+			firstErr, firstPhase = err, phase
+		}
+		// Run-wide cancellation is not a per-function failure to degrade
+		// around: stop retrying and report it.
+		if ctx.Err() != nil {
+			diags.Add(index, fn.Name, phase, err)
+			return nil
+		}
+	}
+	err := firstErr
+	if n := len(rungs) - 1; n > 0 {
+		err = fmt.Errorf("%w (%d fallback attempt(s) also failed)", firstErr, n)
+	}
+	diags.Add(index, fn.Name, firstPhase, err)
+	return nil
+}
+
+// tryOne pushes one function through every phase under one ladder rung,
+// timing each phase, recovering panics into errors, and enforcing the
+// per-attempt budget. It returns the failing phase's name with the
+// error. Fallback attempts (attempt > 0) are re-checked by
+// internal/verify before acceptance, whether or not Config.Verify is
+// set: a degraded result is only accepted when it proves clean.
+func (p *Pipeline) tryOne(ctx context.Context, m *mach.Machine, index int, fn *ir.Func, cfg Config, kind strategy.Kind, attempt int) (*Result, string, error) {
+	actx := ctx
+	if cfg.Budget > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, cfg.Budget)
+		defer cancel()
+	}
+	inj := faults.New(cfg.Faults, actx, fn.Name, index, attempt)
+	opts := cfg.Options
+	opts.Deadline = actx
+	opts.Inject = inj
+
 	c := &Ctx{
-		Context:       ctx,
+		Context:       actx,
 		Machine:       m,
 		IR:            fn,
-		Strategy:      cfg.Strategy,
-		Options:       cfg.Options,
+		Strategy:      kind,
+		Options:       opts,
 		LinearSelect:  cfg.LinearSelect,
 		VerifyEnabled: cfg.Verify,
+		Attempt:       attempt,
+		Inject:        inj,
 	}
 	for _, ph := range p.Phases {
-		if err := ctx.Err(); err != nil {
-			diags.Add(index, fn.Name, ph.Name, err)
-			return nil
+		if err := actx.Err(); err != nil {
+			return nil, ph.Name, budgetize(ph.Name, err, ctx, cfg.Budget)
 		}
 		start := time.Now()
-		err := ph.Run(c)
+		err := runPhase(c, ph)
 		c.Timings = append(c.Timings, PhaseTiming{Phase: ph.Name, Time: time.Since(start)})
 		if err != nil {
-			diags.Add(index, fn.Name, ph.Name, err)
-			return nil
+			return nil, ph.Name, budgetize(ph.Name, err, ctx, cfg.Budget)
 		}
 	}
-	return &Result{IR: fn, Func: c.Func, Stats: c.Stats, Sel: c.Sel, Verify: c.Verify, Timings: c.Timings}
+	if attempt > 0 {
+		// The runtime gate: degraded output must verify clean against
+		// the machine description before it replaces the real thing.
+		rep := c.Verify
+		if !c.VerifyEnabled {
+			rep = verify.Func(c.Machine, c.Func, verify.Options{
+				IssueOnly: opts.Sched.CurrentCycleOnly,
+			})
+		}
+		if !rep.Empty() {
+			return nil, "verify", fmt.Errorf("fallback %s rejected by verifier: %d finding(s):\n%s",
+				kind, len(rep.Findings), rep)
+		}
+	}
+	return &Result{
+		IR: fn, Func: c.Func, Stats: c.Stats, Sel: c.Sel,
+		Verify: c.Verify, Timings: c.Timings, Strategy: kind,
+	}, "", nil
+}
+
+// runPhase runs one phase with panic isolation: a panic in any phase
+// (or in an armed panic-mode fault) is recovered into a *PanicError
+// carrying the phase, function and stack, so one pathological function
+// cannot take down the process or its worker.
+func runPhase(c *Ctx, ph Phase) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{
+				Phase: ph.Name,
+				Func:  c.IR.Name,
+				Value: r,
+				Stack: trimStack(),
+			}
+		}
+	}()
+	if err := c.Inject.Fire(ph.Name); err != nil {
+		return err
+	}
+	return ph.Run(c)
+}
+
+// budgetize converts a per-attempt deadline into a typed budget error
+// (errors.Is budget.ErrExceeded). Run-wide cancellations pass through
+// untouched: outer is the run's context, still live exactly when the
+// deadline that fired was the attempt's own budget.
+func budgetize(phase string, err error, outer context.Context, b time.Duration) error {
+	if errors.Is(err, context.DeadlineExceeded) && outer.Err() == nil {
+		return &budget.LimitError{Stage: phase, Elapsed: b, Detail: err.Error()}
+	}
+	return err
 }

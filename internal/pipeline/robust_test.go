@@ -1,0 +1,283 @@
+package pipeline_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"marion/internal/budget"
+	"marion/internal/cc"
+	"marion/internal/faults"
+	"marion/internal/ilgen"
+	"marion/internal/ir"
+	"marion/internal/mach"
+	"marion/internal/pipeline"
+	"marion/internal/strategy"
+	"marion/internal/targets"
+	"marion/internal/verify"
+)
+
+func lowerModule(t *testing.T, src string) (*mach.Machine, []*ir.Func) {
+	t.Helper()
+	m, err := targets.Load("r2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := cc.Compile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ilgen.Lower(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, mod.Funcs
+}
+
+func mustFaults(t *testing.T, spec string) *faults.Set {
+	t.Helper()
+	set, err := faults.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestPanicIsolation pins the tentpole contract: a phase panic in one
+// function becomes a structured diagnostic carrying the phase, function
+// and a stack, while the other functions compile normally.
+func TestPanicIsolation(t *testing.T) {
+	m, funcs := lowerModule(t, twoFuncs)
+	results, diags := pipeline.Backend().Run(context.Background(), m, funcs,
+		pipeline.Config{
+			Strategy: strategy.Postpass,
+			Strict:   true, // no ladder: the panic must surface as a diagnostic
+			Faults:   mustFaults(t, "select:panic@fn=one"),
+		})
+	all := diags.All()
+	if len(all) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly one", all)
+	}
+	d := all[0]
+	if d.Func != "one" || d.Phase != "select" {
+		t.Errorf("diagnostic attribution = %s/%s", d.Func, d.Phase)
+	}
+	var pe *pipeline.PanicError
+	if !errors.As(d.Err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", d.Err, d.Err)
+	}
+	if pe.Phase != "select" || pe.Func != "one" {
+		t.Errorf("panic error = %+v", pe)
+	}
+	if !strings.Contains(pe.Stack, "panic(") || strings.Contains(pe.Error(), "goroutine") {
+		t.Errorf("stack/message split wrong: msg=%q stack=%q", pe.Error(), pe.Stack)
+	}
+	// The healthy function still compiled.
+	if results[1] == nil || results[1].Func == nil {
+		t.Error("untouched function did not compile")
+	}
+	if results[0] != nil {
+		t.Error("failed function produced a result")
+	}
+}
+
+// TestLadderDegradesAndRecords pins graceful degradation: with the
+// ladder enabled, a faulted primary attempt falls back to a weaker rung,
+// the result verifies clean, and the degradation is recorded.
+func TestLadderDegradesAndRecords(t *testing.T) {
+	m, funcs := lowerModule(t, twoFuncs)
+	results, diags := pipeline.Backend().Run(context.Background(), m, funcs,
+		pipeline.Config{
+			Strategy: strategy.Postpass,
+			Faults:   mustFaults(t, "select:err@fn=one"),
+		})
+	if err := diags.Err(); err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r == nil || r.Func == nil {
+		t.Fatal("faulted function did not compile via the ladder")
+	}
+	if r.Fallback == nil {
+		t.Fatal("degradation not recorded")
+	}
+	fb := r.Fallback
+	if fb.Func != "one" || fb.From != strategy.Postpass || fb.To != strategy.Safe {
+		t.Errorf("fallback = %+v", fb)
+	}
+	if fb.Attempts != 2 || fb.Phase != "select" ||
+		!strings.Contains(fb.Reason, "injected fault") {
+		t.Errorf("fallback detail = %+v", fb)
+	}
+	if r.Strategy != strategy.Safe {
+		t.Errorf("result strategy = %s, want safe", r.Strategy)
+	}
+	// The degraded output holds up under the verifier.
+	if rep := verify.Func(m, r.Func, verify.Options{}); !rep.Empty() {
+		t.Errorf("degraded output has findings:\n%s", rep)
+	}
+	// The unfaulted function compiled on the configured strategy.
+	if results[1].Fallback != nil || results[1].Strategy != strategy.Postpass {
+		t.Errorf("unfaulted function degraded: %+v", results[1].Fallback)
+	}
+}
+
+// TestStrictDisablesLadder pins -strict: the same fault that degrades
+// gracefully by default becomes a hard per-function failure.
+func TestStrictDisablesLadder(t *testing.T) {
+	m, funcs := lowerModule(t, twoFuncs)
+	_, diags := pipeline.Backend().Run(context.Background(), m, funcs,
+		pipeline.Config{
+			Strategy: strategy.Postpass,
+			Strict:   true,
+			Faults:   mustFaults(t, "select:err@fn=one"),
+		})
+	all := diags.All()
+	if len(all) != 1 {
+		t.Fatalf("diagnostics = %v, want one", all)
+	}
+	var ie *faults.InjectedError
+	if !errors.As(all[0].Err, &ie) {
+		t.Errorf("err = %v, want *InjectedError", all[0].Err)
+	}
+	if strings.Contains(all[0].Err.Error(), "fallback") {
+		t.Errorf("strict failure mentions fallbacks: %v", all[0].Err)
+	}
+}
+
+// TestHangFaultBecomesBudgetError pins the budget mechanism end to end:
+// a hang-mode fault under a per-function budget resolves into a typed
+// budget error, which the ladder then degrades around.
+func TestHangFaultBecomesBudgetError(t *testing.T) {
+	// Strict: the budget error is the diagnostic.
+	m, funcs := lowerModule(t, twoFuncs)
+	_, diags := pipeline.Backend().Run(context.Background(), m, funcs,
+		pipeline.Config{
+			Strategy: strategy.Postpass,
+			Strict:   true,
+			Budget:   20 * time.Millisecond,
+			Faults:   mustFaults(t, "sched:hang@fn=one"),
+		})
+	all := diags.All()
+	if len(all) != 1 {
+		t.Fatalf("diagnostics = %v, want one", all)
+	}
+	if !errors.Is(all[0].Err, budget.ErrExceeded) {
+		t.Errorf("err = %v, want budget.ErrExceeded", all[0].Err)
+	}
+
+	// Ladder on: the hang degrades and the run succeeds.
+	m2, funcs2 := lowerModule(t, twoFuncs)
+	results, diags2 := pipeline.Backend().Run(context.Background(), m2, funcs2,
+		pipeline.Config{
+			Strategy: strategy.Postpass,
+			Budget:   20 * time.Millisecond,
+			Faults:   mustFaults(t, "sched:hang@fn=one"),
+		})
+	if err := diags2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	fb := results[0].Fallback
+	if fb == nil || !strings.Contains(fb.Reason, "budget exceeded") {
+		t.Errorf("fallback = %+v, want a budget-exceeded reason", fb)
+	}
+}
+
+// TestLadderExhaustionReportsPrimaryError pins the all-rungs-fail case:
+// the diagnostic carries the PRIMARY attempt's error (annotated with
+// the fallback count), not the last rung's.
+func TestLadderExhaustionReportsPrimaryError(t *testing.T) {
+	m, funcs := lowerModule(t, twoFuncs)
+	_, diags := pipeline.Backend().Run(context.Background(), m, funcs,
+		pipeline.Config{
+			Strategy: strategy.Postpass,
+			Faults:   mustFaults(t, "select:err@fn=one@all"), // fires on every rung
+		})
+	all := diags.All()
+	if len(all) != 1 {
+		t.Fatalf("diagnostics = %v, want one", all)
+	}
+	msg := all[0].Err.Error()
+	if !strings.Contains(msg, "injected fault at select") ||
+		!strings.Contains(msg, "fallback attempt(s) also failed") {
+		t.Errorf("exhaustion message = %q", msg)
+	}
+	if !errors.As(all[0].Err, new(*faults.InjectedError)) {
+		t.Errorf("primary error not preserved through wrapping: %v", all[0].Err)
+	}
+}
+
+// TestRunChecksContextBeforeDispatch pins the dispatch-loop
+// cancellation check: a context cancelled mid-run records a diagnostic
+// for every undispatched function instead of compiling it.
+func TestRunChecksContextBeforeDispatch(t *testing.T) {
+	m, funcs := lowerModule(t, `
+int a() { return 1; }
+int b() { return 2; }
+int c() { return 3; }
+int d() { return 4; }
+`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, diags := pipeline.Backend().Run(ctx, m, funcs,
+		pipeline.Config{Strategy: strategy.Postpass, Workers: 2})
+	if len(diags.All()) != len(funcs) {
+		t.Errorf("diagnostics = %d, want one per function", len(diags.All()))
+	}
+	for i, r := range results {
+		if r != nil {
+			t.Errorf("function %d compiled after cancellation", i)
+		}
+	}
+}
+
+// TestFaultedRunDeterministicAcrossWorkers pins determinism: the same
+// fault spec produces identical results and diagnostics at any worker
+// count.
+func TestFaultedRunDeterministicAcrossWorkers(t *testing.T) {
+	const src = `
+int one() { return 1; }
+int two(int x) { return x + x; }
+int three(int x, int y) { return x * y; }
+`
+	const spec = "select:panic@fn=0;sched:hang@fn=1;regalloc:err@fn=three@all"
+	type snapshot struct {
+		degradations []string
+		diags        string
+	}
+	shot := func(workers int) snapshot {
+		m, funcs := lowerModule(t, src)
+		results, diags := pipeline.Backend().Run(context.Background(), m, funcs,
+			pipeline.Config{
+				Strategy: strategy.Postpass,
+				Workers:  workers,
+				Budget:   20 * time.Millisecond,
+				Faults:   mustFaults(t, spec),
+			})
+		var s snapshot
+		for _, r := range results {
+			if r != nil && r.Fallback != nil {
+				s.degradations = append(s.degradations, r.Fallback.String())
+			}
+		}
+		if !diags.Empty() {
+			s.diags = diags.Error()
+		}
+		return s
+	}
+	base := shot(1)
+	if len(base.degradations) != 2 || base.diags == "" {
+		t.Fatalf("unexpected baseline: %+v", base)
+	}
+	for _, w := range []int{4, 8} {
+		got := shot(w)
+		if strings.Join(got.degradations, "\n") != strings.Join(base.degradations, "\n") {
+			t.Errorf("workers=%d degradations differ:\n%v\nvs\n%v", w, got.degradations, base.degradations)
+		}
+		if got.diags != base.diags {
+			t.Errorf("workers=%d diagnostics differ:\n%q\nvs\n%q", w, got.diags, base.diags)
+		}
+	}
+}

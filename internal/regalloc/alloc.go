@@ -1,14 +1,22 @@
 package regalloc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"marion/internal/asm"
+	"marion/internal/budget"
 	"marion/internal/ir"
 	"marion/internal/mach"
 	"marion/internal/sel"
 )
+
+// DefaultMaxRounds is the build-color-spill iteration cap when
+// Options.MaxRounds is unset. Real allocations converge in a handful of
+// rounds; a description whose spill code itself cannot be colored would
+// otherwise iterate forever.
+const DefaultMaxRounds = 24
 
 // Result describes a completed allocation.
 type Result struct {
@@ -33,6 +41,16 @@ type Options struct {
 	// registers: the local-allocation-only baseline standing in for the
 	// paper's "cc -O1" comparator.
 	SpillGlobals bool
+
+	// MaxRounds caps the build-color-spill loop; exceeding it returns a
+	// typed budget error (errors.Is budget.ErrExceeded) instead of
+	// iterating forever on a non-convergent machine description.
+	// 0 means DefaultMaxRounds.
+	MaxRounds int
+
+	// Context, when non-nil, is polled between rounds: a deadline
+	// becomes a typed budget error, a cancellation is returned as-is.
+	Context context.Context
 }
 
 // Allocate colors every pseudo-register of af, inserting spill code as
@@ -71,9 +89,23 @@ func AllocateOpts(m *mach.Machine, af *asm.Func, opts Options) (*Result, error) 
 			return nil, err
 		}
 	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
 	for round := 0; ; round++ {
-		if round > 24 {
-			return nil, fmt.Errorf("%s: register allocation did not converge", af.Name)
+		if round >= maxRounds {
+			return nil, &budget.LimitError{Stage: "regalloc", Steps: maxRounds,
+				Detail: fmt.Sprintf("%s: build-color-spill did not converge", af.Name)}
+		}
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				if err == context.DeadlineExceeded {
+					return nil, &budget.LimitError{Stage: "regalloc",
+						Detail: fmt.Sprintf("%s: deadline after %d round(s)", af.Name, round)}
+				}
+				return nil, err
+			}
 		}
 		res.Rounds = round + 1
 		spilled, err := colorOnce(m, af, res)

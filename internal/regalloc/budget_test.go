@@ -1,0 +1,65 @@
+package regalloc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"marion/internal/budget"
+)
+
+// spillPressureSrc needs at least two build-color-spill rounds on
+// TOYP's 4 allocable int registers (see TestAllocateSpillsUnderPressure).
+const spillPressureSrc = `
+int f(int a, int b) {
+    int v0 = a + b, v1 = a - b, v2 = a * b, v3 = a + 1, v4 = b + 2;
+    int v5 = a + 3, v6 = b + 4, v7 = a + 5, v8 = b + 6, v9 = a + 7;
+    return v0 + v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8 + v9;
+}`
+
+// TestAllocateMaxRoundsCap pins the allocator's iteration cap: an
+// allocation that needs more build-color-spill rounds than MaxRounds
+// fails with a typed budget error instead of looping.
+func TestAllocateMaxRoundsCap(t *testing.T) {
+	m, af := selectOn(t, spillPressureSrc, "f")
+	_, err := AllocateOpts(m, af, Options{MaxRounds: 1})
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("err = %v, want budget.ErrExceeded", err)
+	}
+	var le *budget.LimitError
+	if !errors.As(err, &le) || le.Stage != "regalloc" || le.Steps != 1 {
+		t.Errorf("limit error = %#v", le)
+	}
+
+	// The same function converges under the default cap.
+	m2, af2 := selectOn(t, spillPressureSrc, "f")
+	res, err := Allocate(m2, af2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 2 || res.Rounds > DefaultMaxRounds {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+}
+
+// TestAllocateContextDeadline pins budget enforcement between rounds:
+// an expired deadline is a typed budget error, plain cancellation is
+// not.
+func TestAllocateContextDeadline(t *testing.T) {
+	expired, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	m, af := selectOn(t, spillPressureSrc, "f")
+	_, err := AllocateOpts(m, af, Options{Context: expired})
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Errorf("deadline err = %v, want budget.ErrExceeded", err)
+	}
+
+	cancelled, stop := context.WithCancel(context.Background())
+	stop()
+	m2, af2 := selectOn(t, spillPressureSrc, "f")
+	_, err = AllocateOpts(m2, af2, Options{Context: cancelled})
+	if !errors.Is(err, context.Canceled) || errors.Is(err, budget.ErrExceeded) {
+		t.Errorf("cancel err = %v, want plain context.Canceled", err)
+	}
+}

@@ -6,14 +6,21 @@
 package sched
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sort"
 
 	"marion/internal/asm"
+	"marion/internal/budget"
 	"marion/internal/cdag"
 	"marion/internal/mach"
 )
+
+// DefaultMaxCycles is the scheduler's cycle-loop step cap when
+// Options.MaxCycles is unset: far beyond any real schedule, so only a
+// wedged scheduler (a machine description whose constraints admit no
+// schedule) can reach it.
+const DefaultMaxCycles = 1000000
 
 // Options configure one scheduling run.
 type Options struct {
@@ -42,6 +49,20 @@ type Options struct {
 	// construction). Set automatically when the greedy scheduler detects
 	// a Rule-1 stall; also usable directly.
 	Sequential bool
+
+	// NoPack caps issue at one instruction per cycle: no long-word
+	// packing, no multiple issue (the safe-sequential rung of the
+	// degradation ladder).
+	NoPack bool
+
+	// MaxCycles caps the scheduler's cycle loop; when the loop runs past
+	// the cap a typed budget error (errors.Is budget.ErrExceeded) is
+	// returned instead of hanging. 0 means DefaultMaxCycles.
+	MaxCycles int
+
+	// Context, when non-nil, is polled inside the cycle loop: a deadline
+	// becomes a typed budget error, a cancellation is returned as-is.
+	Context context.Context
 }
 
 // Result is a pure scheduling outcome.
@@ -301,6 +322,10 @@ func Run(m *mach.Machine, af *asm.Func, b *asm.Block, g *cdag.Graph, opts Option
 		res.Cycles = append(res.Cycles, cycle)
 	}
 
+	maxCycles := opts.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = DefaultMaxCycles
+	}
 	remaining := n
 	cycle := 0
 	lastProgress := 0
@@ -315,13 +340,25 @@ func Run(m *mach.Machine, af *asm.Func, b *asm.Block, g *cdag.Graph, opts Option
 			seq.Sequential = true
 			return Run(m, af, b, g, seq)
 		}
-		if cycle > 1000000+n {
-			// Runaway guard: report enough state to diagnose a scheduling
-			// deadlock (must be impossible; see the protection pass). A
-			// bad machine description must not crash the compiler, so
-			// this is an error, not a panic; it flows through the phase
-			// error plumbing as a per-function diagnostic.
-			msg := fmt.Sprintf("sched: deadlock at cycle %d, %d of %d unscheduled\n", cycle, remaining, n)
+		if opts.Context != nil && cycle&255 == 0 {
+			if err := opts.Context.Err(); err != nil {
+				if err == context.DeadlineExceeded {
+					// The per-function budget expired mid-schedule: a
+					// typed budget error so the caller can degrade.
+					return res, &budget.LimitError{Stage: "sched",
+						Detail: fmt.Sprintf("deadline at cycle %d, %d of %d unscheduled", cycle, remaining, n)}
+				}
+				return res, err
+			}
+		}
+		if cycle > maxCycles+n {
+			// Step cap: report enough state to diagnose a scheduling
+			// deadlock (must be impossible for valid descriptions; see
+			// the protection pass). A bad machine description must not
+			// crash or hang the compiler, so this is a typed budget
+			// error, not a panic; it flows through the phase error
+			// plumbing as a per-function diagnostic.
+			msg := fmt.Sprintf("deadlock at cycle %d, %d of %d unscheduled\n", cycle, remaining, n)
 			for i := 0; i < n; i++ {
 				if !scheduled[i] {
 					msg += fmt.Sprintf("  [%d] %s predsLeft=%d earliest=%d affects=%d\n",
@@ -341,7 +378,7 @@ func Run(m *mach.Machine, af *asm.Func, b *asm.Block, g *cdag.Graph, opts Option
 				}
 				msg += "\n"
 			}
-			return res, errors.New(msg)
+			return res, &budget.LimitError{Stage: "sched", Steps: maxCycles, Detail: msg}
 		}
 		placedThisCycle = map[int]bool{}
 		wordClass, wordHasClass = mach.ClassSet{}, false
@@ -438,6 +475,9 @@ func Run(m *mach.Machine, af *asm.Func, b *asm.Block, g *cdag.Graph, opts Option
 		for progress {
 			progress = false
 			fallback = -1
+			if opts.NoPack && len(placedThisCycle) > 0 {
+				break // one instruction per cycle: no multi-issue fill
+			}
 			for _, i := range ready() {
 				t := g.Nodes[i].Inst.Tmpl
 				if !rule1OK(i) {

@@ -18,11 +18,13 @@
 package strategy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"marion/internal/asm"
+	"marion/internal/faults"
 	"marion/internal/ir"
 	"marion/internal/mach"
 	"marion/internal/regalloc"
@@ -42,10 +44,36 @@ const (
 	// (every cross-block value lives in memory) and no scheduling — the
 	// stand-in for the paper's "cc -O1" local-optimization comparator.
 	Local
+	// Safe is the bottom rung of the degradation ladder: standard
+	// allocation, then strict code-thread order with one instruction per
+	// cycle — no reordering, no long-word packing, no multiple issue —
+	// and every delay slot filled with nops. The thread order is an
+	// executable order by construction, so Safe succeeds whenever
+	// selection and allocation do.
+	Safe
 )
 
 var kindNames = map[Kind]string{
 	Naive: "naive", Postpass: "postpass", IPS: "ips", RASE: "rase", Local: "local",
+	Safe: "safe",
+}
+
+// FallbackChain returns the degradation ladder below a strategy: the
+// rungs the pipeline retries a failed or over-budget function on, in
+// order. Each rung trades schedule quality for simplicity (RASE → IPS →
+// Postpass → Safe); the baselines Naive and Local fall straight to
+// Safe. Safe itself has no rung below it.
+func FallbackChain(k Kind) []Kind {
+	ladder := []Kind{RASE, IPS, Postpass, Safe}
+	for i, rung := range ladder {
+		if rung == k {
+			return ladder[i+1:]
+		}
+	}
+	if k == Safe {
+		return nil
+	}
+	return []Kind{Safe}
 }
 
 func (k Kind) String() string { return kindNames[k] }
@@ -100,14 +128,33 @@ type Options struct {
 	// FillDelaySlots enables the optional post-scheduling pass (§4.4)
 	// that replaces delay-slot nops with safe instructions hoisted from
 	// above the transfer. Off by default: the paper's Marion always
-	// emits nops.
+	// emits nops. The Safe rung ignores it (nops stay nops).
 	FillDelaySlots bool
+
+	// MaxAllocRounds caps the register allocator's build-color-spill
+	// loop (0 means regalloc.DefaultMaxRounds).
+	MaxAllocRounds int
+
+	// Deadline, when non-nil, is the per-function budget context: the
+	// scheduler's cycle loop and the allocator's round loop poll it, so
+	// an expired budget surfaces as a typed error instead of a hang.
+	// Set by the pipeline from Config.Budget.
+	Deadline context.Context
+
+	// Inject is the fault-injection hook for this function attempt
+	// (sites "sched", "regalloc", "frame"); nil injects nothing.
+	Inject *faults.Injector
 }
 
 // Apply runs the full back end pipeline of the given strategy on a
 // selected function: scheduling, allocation, prologue/epilogue.
 func Apply(m *mach.Machine, af *asm.Func, kind Kind, opts Options) (*Stats, error) {
 	st := &Stats{}
+
+	// The per-function budget context reaches every bounded loop.
+	if opts.Deadline != nil && opts.Sched.Context == nil {
+		opts.Sched.Context = opts.Deadline
+	}
 
 	// Parameter binding moves come first; they are ordinary instructions
 	// that scheduling and allocation see.
@@ -118,20 +165,32 @@ func Apply(m *mach.Machine, af *asm.Func, kind Kind, opts Options) (*Stats, erro
 	switch kind {
 	case Naive, Local:
 		aopts := regalloc.Options{SpillGlobals: kind == Local}
-		if _, err := allocateOpts(m, af, st, aopts); err != nil {
+		if _, err := allocateOpts(m, af, st, opts, aopts); err != nil {
 			return nil, err
 		}
 		o := opts.Sched
 		o.FIFO = true
-		if err := scheduleAll(m, af, st, o); err != nil {
+		if err := scheduleAll(m, af, st, opts.Inject, o); err != nil {
+			return nil, err
+		}
+
+	case Safe:
+		if _, err := allocate(m, af, st, opts); err != nil {
+			return nil, err
+		}
+		o := opts.Sched
+		o.Sequential = true
+		o.NoPack = true
+		o.MaxLive = nil
+		if err := scheduleAll(m, af, st, opts.Inject, o); err != nil {
 			return nil, err
 		}
 
 	case Postpass:
-		if _, err := allocate(m, af, st); err != nil {
+		if _, err := allocate(m, af, st, opts); err != nil {
 			return nil, err
 		}
-		if err := scheduleAll(m, af, st, opts.Sched); err != nil {
+		if err := scheduleAll(m, af, st, opts.Inject, opts.Sched); err != nil {
 			return nil, err
 		}
 
@@ -150,13 +209,13 @@ func Apply(m *mach.Machine, af *asm.Func, kind Kind, opts Options) (*Stats, erro
 		pre := opts.Sched
 		pre.MaxLive = limit
 		pre.LiveOut = sched.LiveOutPseudos(af)
-		if err := scheduleAllPrepass(m, af, st, pre); err != nil {
+		if err := scheduleAllPrepass(m, af, st, opts.Inject, pre); err != nil {
 			return nil, err
 		}
-		if _, err := allocate(m, af, st); err != nil {
+		if _, err := allocate(m, af, st, opts); err != nil {
 			return nil, err
 		}
-		if err := scheduleAll(m, af, st, opts.Sched); err != nil {
+		if err := scheduleAll(m, af, st, opts.Inject, opts.Sched); err != nil {
 			return nil, err
 		}
 
@@ -164,25 +223,33 @@ func Apply(m *mach.Machine, af *asm.Func, kind Kind, opts Options) (*Stats, erro
 		if err := raseEstimates(m, af, st, opts); err != nil {
 			return nil, err
 		}
-		if _, err := allocate(m, af, st); err != nil {
+		if _, err := allocate(m, af, st, opts); err != nil {
 			return nil, err
 		}
-		if err := scheduleAll(m, af, st, opts.Sched); err != nil {
+		if err := scheduleAll(m, af, st, opts.Inject, opts.Sched); err != nil {
 			return nil, err
 		}
 	}
 
-	if opts.FillDelaySlots {
+	if opts.FillDelaySlots && kind != Safe {
 		st.SlotsFilled = sched.FillDelaySlots(m, af)
+	}
+	if err := opts.Inject.Fire("frame"); err != nil {
+		return nil, err
 	}
 	return st, frame(m, af)
 }
 
-func allocate(m *mach.Machine, af *asm.Func, st *Stats) (*regalloc.Result, error) {
-	return allocateOpts(m, af, st, regalloc.Options{})
+func allocate(m *mach.Machine, af *asm.Func, st *Stats, opts Options) (*regalloc.Result, error) {
+	return allocateOpts(m, af, st, opts, regalloc.Options{})
 }
 
-func allocateOpts(m *mach.Machine, af *asm.Func, st *Stats, aopts regalloc.Options) (*regalloc.Result, error) {
+func allocateOpts(m *mach.Machine, af *asm.Func, st *Stats, opts Options, aopts regalloc.Options) (*regalloc.Result, error) {
+	if err := opts.Inject.Fire("regalloc"); err != nil {
+		return nil, err
+	}
+	aopts.MaxRounds = opts.MaxAllocRounds
+	aopts.Context = opts.Deadline
 	res, err := regalloc.AllocateOpts(m, af, aopts)
 	if err != nil {
 		return nil, err
@@ -216,7 +283,10 @@ func elideMoves(af *asm.Func) {
 }
 
 // scheduleAll schedules every block and records the summed estimate.
-func scheduleAll(m *mach.Machine, af *asm.Func, st *Stats, opts sched.Options) error {
+func scheduleAll(m *mach.Machine, af *asm.Func, st *Stats, inj *faults.Injector, opts sched.Options) error {
+	if err := inj.Fire("sched"); err != nil {
+		return err
+	}
 	total := 0
 	for _, b := range af.Blocks {
 		stripNops(m, b)
@@ -239,7 +309,10 @@ func scheduleAll(m *mach.Machine, af *asm.Func, st *Stats, opts sched.Options) e
 // interleaving unschedulable under Rule 1. The post-allocation pass,
 // which starts from sequence-contiguous order, performs the temporal
 // overlap instead (as Postpass does).
-func scheduleAllPrepass(m *mach.Machine, af *asm.Func, st *Stats, opts sched.Options) error {
+func scheduleAllPrepass(m *mach.Machine, af *asm.Func, st *Stats, inj *faults.Injector, opts sched.Options) error {
+	if err := inj.Fire("sched"); err != nil {
+		return err
+	}
 	total := 0
 	for _, b := range af.Blocks {
 		stripNops(m, b)

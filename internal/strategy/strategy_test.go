@@ -42,7 +42,7 @@ func applyOn(t *testing.T, src, fname string, kind Kind) (*mach.Machine, *asm.Fu
 }
 
 func TestParseKind(t *testing.T) {
-	for _, name := range []string{"naive", "postpass", "ips", "rase", "local"} {
+	for _, name := range []string{"naive", "postpass", "ips", "rase", "local", "safe"} {
 		k, err := ParseKind(name)
 		if err != nil || k.String() != name {
 			t.Errorf("ParseKind(%q) = %v, %v", name, k, err)
@@ -58,7 +58,7 @@ func TestParseKind(t *testing.T) {
 			}
 		}
 	}
-	want := []string{"naive", "postpass", "ips", "rase", "local"}
+	want := []string{"naive", "postpass", "ips", "rase", "local", "safe"}
 	if got := KindNames(); !reflect.DeepEqual(got, want) {
 		t.Errorf("KindNames() = %v, want %v", got, want)
 	}
