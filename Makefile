@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench benchsmoke verify-all chaos ci
+.PHONY: build test vet race bench benchsmoke cachesmoke verify-all chaos ci
 
 TARGETS    := r2000 r2000s m88000 i860 rs6000 toyp
 STRATEGIES := naive postpass ips rase local
@@ -24,12 +24,19 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem
+	$(GO) run ./cmd/marionstats -cachestats -benchjson BENCH_cache.json
 
 # One-iteration benchmark pass: keeps BenchmarkSelect /
 # BenchmarkParallelBackend and friends compiling and running under CI
 # without paying for real measurement.
 benchsmoke:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
+# Compilation-cache smoke: one cold/warm Livermore pass per strategy at
+# a single worker count; byte-identical warm output and a full hit rate
+# are enforced inside the bench (a violation is a non-zero exit).
+cachesmoke:
+	$(GO) run ./cmd/marionstats -cachestats -workers 4
 
 # Emitted-code verification sweep: the machine-description-driven
 # verifier (internal/verify) over the Livermore suite and every
@@ -55,4 +62,4 @@ verify-all:
 chaos:
 	$(GO) run ./cmd/marionstats -faultmatrix
 
-ci: build vet test race benchsmoke verify-all chaos
+ci: build vet test race benchsmoke cachesmoke verify-all chaos

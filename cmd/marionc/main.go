@@ -30,6 +30,15 @@
 // -faults (or MARION_FAULTS) arms the deterministic fault-injection
 // harness (internal/faults) for chaos testing.
 //
+// -cache enables the content-addressed compilation cache
+// (internal/cache): each function is looked up by its canonical IR
+// fingerprint, the machine-description fingerprint and the effective
+// configuration before the back end runs; hits are byte-identical to a
+// fresh compile. -cachedir persists entries on disk (checksummed;
+// corrupt entries are rejected and recompiled) so repeated marionc runs
+// share them. With -stats, cache hit/miss counts print to stderr.
+// An armed -faults spec disables the cache for that run.
+//
 // When compilation fails, marionc prints EVERY structured diagnostic —
 // one line per failing function with its phase — not just the first;
 // a recovered phase panic prints its (normalized) stack.
@@ -45,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"marion/internal/cache"
 	"marion/internal/core"
 	"marion/internal/faults"
 	"marion/internal/pipeline"
@@ -77,6 +87,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"disable the graceful-degradation ladder: failures and budget exhaustion are fatal")
 	faultSpec := fs.String("faults", os.Getenv("MARION_FAULTS"),
 		"fault-injection spec, e.g. 'select:panic@fn=3' (default $MARION_FAULTS)")
+	useCache := fs.Bool("cache", false,
+		"enable the content-addressed compilation cache (in-memory; add -cachedir to persist)")
+	cacheDir := fs.String("cachedir", "",
+		"on-disk cache directory, shared across runs (implies -cache)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -114,6 +128,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	gen.Budget = time.Duration(*timeout)
 	gen.Strict = *strict
 	gen.Faults = fset
+	if *useCache || *cacheDir != "" {
+		ch, err := cache.New(cache.Options{Dir: *cacheDir})
+		if err != nil {
+			// The memory tier still works; warn and continue.
+			fmt.Fprintln(stderr, "marionc: warning:", err)
+		}
+		gen.Cache = ch
+	}
 	res, err := gen.Compile(file, string(src))
 	if err != nil {
 		return fail(stderr, err)
@@ -140,6 +162,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr,
 				"%s: est %d cycles, %d spills (%d slots), %d alloc rounds, %d schedule passes\n",
 				n, st.EstimatedCycles, st.Spills, st.SpillSlots, st.AllocRounds, st.SchedulePasses)
+		}
+		if gen.Cache != nil {
+			cs := gen.Cache.Stats()
+			fmt.Fprintf(stderr,
+				"cache: %d hit(s) (%d mem, %d disk), %d miss(es), %d store(s), %d eviction(s), %d reject(s)\n",
+				cs.Hits(), cs.MemHits, cs.DiskHits, cs.Misses, cs.Stores, cs.Evictions, cs.Rejects)
 		}
 	}
 	if *doVerify && !res.Verify.Empty() {

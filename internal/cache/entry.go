@@ -1,0 +1,504 @@
+package cache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"marion/internal/asm"
+	"marion/internal/ir"
+	"marion/internal/mach"
+	"marion/internal/sel"
+	"marion/internal/strategy"
+)
+
+// Entry is a decoded cached compilation: the target function rebound
+// onto the current IR and machine tables, plus the statistics the cold
+// compile produced (so warm runs report identical numbers).
+type Entry struct {
+	Func  *asm.Func
+	Stats strategy.Stats
+	Sel   sel.Counters
+}
+
+// Encode serializes a compiled function. Pointers are flattened to
+// stable indices/names: instruction templates to their index in
+// m.Instrs, register sets to their index in m.RegSets, IR blocks to
+// their position in fn.Blocks, and symbols to (class, index) for
+// parameters/locals or to their name for globals and functions — all
+// of which the cache key pins (the machine fingerprint covers template
+// order; the IR digest covers block order, frame layout and referenced
+// symbol names). Decode reverses the flattening against the *current*
+// machine and IR, so a hit emits labels and symbols of the module
+// being compiled, byte-identical to a cold compile.
+func Encode(m *mach.Machine, fn *ir.Func, af *asm.Func, st *strategy.Stats, sc sel.Counters) ([]byte, error) {
+	e := &enc{
+		regSetIdx: map[*mach.RegSet]int{},
+		blockIdx:  map[*ir.Block]int{},
+		params:    map[*ir.Sym]int{},
+		locals:    map[*ir.Sym]int{},
+	}
+	for i, rs := range m.RegSets {
+		e.regSetIdx[rs] = i
+	}
+	for i, b := range fn.Blocks {
+		e.blockIdx[b] = i
+	}
+	for i, s := range fn.Params {
+		e.params[s] = i
+	}
+	for i, s := range fn.Locals {
+		e.locals[s] = i
+	}
+
+	e.str("entry-v1")
+	e.i(int64(af.FrameSize))
+	e.i(int64(af.Outgoing))
+	e.bool(af.UsesCalls)
+	e.i(int64(af.SpillSlots))
+	e.u(uint64(len(af.CalleeSaved)))
+	for _, p := range af.CalleeSaved {
+		e.i(int64(p))
+	}
+
+	e.u(uint64(len(af.Pseudos)))
+	for _, pi := range af.Pseudos {
+		if pi.Set == nil {
+			e.i(-1)
+		} else {
+			idx, ok := e.regSetIdx[pi.Set]
+			if !ok {
+				return nil, errors.New("cache: pseudo register set not in machine")
+			}
+			e.i(int64(idx))
+		}
+		e.i(int64(pi.IR))
+		e.i(int64(pi.Precolor))
+		e.f(pi.SpillCost)
+		e.bool(pi.NoSpill)
+	}
+
+	e.u(uint64(len(af.Blocks)))
+	for _, b := range af.Blocks {
+		bi, ok := e.blockIdx[b.IR]
+		if !ok {
+			return nil, errors.New("cache: asm block not bound to an IR block")
+		}
+		e.u(uint64(bi))
+		e.i(int64(b.SchedCost))
+		e.u(uint64(len(b.Insts)))
+		for _, in := range b.Insts {
+			if err := e.inst(in); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	e.i(int64(st.Spills))
+	e.i(int64(st.SpillSlots))
+	e.i(int64(st.AllocRounds))
+	e.i(int64(st.EstimatedCycles))
+	e.i(int64(st.SchedulePasses))
+	e.i(int64(st.SlotsFilled))
+	e.i(sc.Tried)
+	e.i(sc.MemoHits)
+	e.i(sc.MemoMisses)
+	return e.b, nil
+}
+
+func (e *enc) inst(in *asm.Inst) error {
+	if in.Tmpl == nil {
+		return errors.New("cache: instruction without template")
+	}
+	e.u(uint64(in.Tmpl.Index))
+	e.u(uint64(len(in.Args)))
+	for _, a := range in.Args {
+		if err := e.operand(a); err != nil {
+			return err
+		}
+	}
+	e.u(uint64(len(in.ImpUses)))
+	for _, p := range in.ImpUses {
+		e.i(int64(p))
+	}
+	e.u(uint64(len(in.ImpDefs)))
+	for _, p := range in.ImpDefs {
+		e.i(int64(p))
+	}
+	e.i(int64(in.Cycle))
+	e.i(int64(in.SeqID))
+	return nil
+}
+
+// Symbol reference classes in the encoded stream.
+const (
+	symNil   = 0 // no symbol
+	symParam = 1 // fn.Params index
+	symLocal = 2 // fn.Locals index
+	symNamed = 3 // global or function symbol, resolved by name
+)
+
+func (e *enc) operand(a asm.Operand) error {
+	e.b = append(e.b, byte(a.Kind))
+	switch a.Kind {
+	case asm.OpPseudo:
+		e.i(int64(a.Pseudo))
+	case asm.OpPhys:
+		e.i(int64(a.Phys))
+	case asm.OpPseudoHalf:
+		e.i(int64(a.Pseudo))
+		e.i(int64(a.Half))
+	case asm.OpImm:
+		e.i(a.Imm)
+	case asm.OpBlock:
+		bi, ok := e.blockIdx[a.Block]
+		if !ok {
+			return errors.New("cache: branch target outside the function")
+		}
+		e.u(uint64(bi))
+	case asm.OpSym:
+		switch {
+		case a.Sym == nil:
+			e.b = append(e.b, symNil)
+		case a.Sym.Kind == ir.SymParam:
+			i, ok := e.params[a.Sym]
+			if !ok {
+				return errors.New("cache: parameter symbol not in fn.Params")
+			}
+			e.b = append(e.b, symParam)
+			e.u(uint64(i))
+		case a.Sym.Kind == ir.SymLocal:
+			i, ok := e.locals[a.Sym]
+			if !ok {
+				return errors.New("cache: local symbol not in fn.Locals")
+			}
+			e.b = append(e.b, symLocal)
+			e.u(uint64(i))
+		default:
+			e.b = append(e.b, symNamed)
+			e.str(a.Sym.Name)
+		}
+	case asm.OpNone:
+	default:
+		return fmt.Errorf("cache: unknown operand kind %d", a.Kind)
+	}
+	return nil
+}
+
+// Decode rebuilds a compiled function from an encoded payload, binding
+// templates, register sets, blocks and symbols against the current
+// machine and IR function. Any structural mismatch (index out of
+// range, unknown symbol name, truncation) returns an error — the
+// caller treats it as a miss and rejects the entry.
+func Decode(payload []byte, m *mach.Machine, fn *ir.Func) (*Entry, error) {
+	d := &dec{b: payload}
+	if v := d.str(); v != "entry-v1" {
+		return nil, fmt.Errorf("cache: unknown entry version %q", v)
+	}
+
+	// Name -> symbol table for globals and callees, harvested from the
+	// current IR (every symbol compiled code can reference appears in
+	// the pristine IR the fingerprint hashed).
+	named := map[string]*ir.Sym{}
+	seen := map[*ir.Node]bool{}
+	var harvest func(n *ir.Node)
+	harvest = func(n *ir.Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Sym != nil {
+			if prev, ok := named[n.Sym.Name]; ok && prev != n.Sym {
+				// Ambiguous name: refuse rather than guess.
+				named[n.Sym.Name] = nil
+			} else if !ok {
+				named[n.Sym.Name] = n.Sym
+			}
+		}
+		for _, k := range n.Kids {
+			harvest(k)
+		}
+	}
+	for _, b := range fn.Blocks {
+		for _, s := range b.Stmts {
+			harvest(s)
+		}
+	}
+
+	af := &asm.Func{Name: fn.Name, IR: fn}
+	af.FrameSize = int(d.i())
+	af.Outgoing = int(d.i())
+	af.UsesCalls = d.bool()
+	af.SpillSlots = int(d.i())
+	n := d.u()
+	if d.err == nil && n > uint64(len(payload)) {
+		return nil, errors.New("cache: callee-save count out of range")
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		af.CalleeSaved = append(af.CalleeSaved, mach.PhysID(d.i()))
+	}
+
+	n = d.u()
+	if d.err == nil && n > uint64(len(payload)) {
+		return nil, errors.New("cache: pseudo count out of range")
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		var pi asm.PseudoInfo
+		si := d.i()
+		if si >= 0 {
+			if si >= int64(len(m.RegSets)) {
+				return nil, errors.New("cache: register set index out of range")
+			}
+			pi.Set = m.RegSets[si]
+		}
+		pi.IR = ir.RegID(d.i())
+		pi.Precolor = mach.PhysID(d.i())
+		pi.SpillCost = d.f()
+		pi.NoSpill = d.bool()
+		af.Pseudos = append(af.Pseudos, pi)
+	}
+
+	nb := d.u()
+	if d.err == nil && nb > uint64(len(payload)) {
+		return nil, errors.New("cache: block count out of range")
+	}
+	for i := uint64(0); i < nb && d.err == nil; i++ {
+		bi := d.u()
+		if d.err != nil || bi >= uint64(len(fn.Blocks)) {
+			return nil, errors.New("cache: IR block index out of range")
+		}
+		b := &asm.Block{IR: fn.Blocks[bi]}
+		b.SchedCost = int(d.i())
+		ni := d.u()
+		if d.err == nil && ni > uint64(len(payload)) {
+			return nil, errors.New("cache: instruction count out of range")
+		}
+		for j := uint64(0); j < ni && d.err == nil; j++ {
+			in, err := d.inst(m, fn, named, len(af.Pseudos))
+			if err != nil {
+				return nil, err
+			}
+			b.Insts = append(b.Insts, in)
+		}
+		af.Blocks = append(af.Blocks, b)
+	}
+
+	ent := &Entry{Func: af}
+	ent.Stats.Spills = int(d.i())
+	ent.Stats.SpillSlots = int(d.i())
+	ent.Stats.AllocRounds = int(d.i())
+	ent.Stats.EstimatedCycles = int(d.i())
+	ent.Stats.SchedulePasses = int(d.i())
+	ent.Stats.SlotsFilled = int(d.i())
+	ent.Sel.Tried = d.i()
+	ent.Sel.MemoHits = d.i()
+	ent.Sel.MemoMisses = d.i()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, errors.New("cache: trailing bytes in entry")
+	}
+	return ent, nil
+}
+
+func (d *dec) inst(m *mach.Machine, fn *ir.Func, named map[string]*ir.Sym, numPseudos int) (*asm.Inst, error) {
+	ti := d.u()
+	if d.err != nil || ti >= uint64(len(m.Instrs)) {
+		return nil, errors.New("cache: template index out of range")
+	}
+	in := &asm.Inst{Tmpl: m.Instrs[ti]}
+	na := d.u()
+	if d.err != nil || na > uint64(len(d.b))+1 {
+		return nil, errors.New("cache: operand count out of range")
+	}
+	for i := uint64(0); i < na; i++ {
+		a, err := d.operand(fn, named, numPseudos)
+		if err != nil {
+			return nil, err
+		}
+		in.Args = append(in.Args, a)
+	}
+	n := d.u()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		in.ImpUses = append(in.ImpUses, mach.PhysID(d.i()))
+	}
+	n = d.u()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		in.ImpDefs = append(in.ImpDefs, mach.PhysID(d.i()))
+	}
+	in.Cycle = int(d.i())
+	in.SeqID = int(d.i())
+	if d.err != nil {
+		return nil, d.err
+	}
+	return in, nil
+}
+
+func (d *dec) operand(fn *ir.Func, named map[string]*ir.Sym, numPseudos int) (asm.Operand, error) {
+	var a asm.Operand
+	k := d.byte()
+	if d.err != nil {
+		return a, d.err
+	}
+	a.Kind = asm.OperandKind(k)
+	switch a.Kind {
+	case asm.OpPseudo:
+		a.Pseudo = asm.PseudoID(d.i())
+		if int(a.Pseudo) >= numPseudos {
+			return a, errors.New("cache: pseudo id out of range")
+		}
+	case asm.OpPhys:
+		a.Phys = mach.PhysID(d.i())
+	case asm.OpPseudoHalf:
+		a.Pseudo = asm.PseudoID(d.i())
+		a.Half = int(d.i())
+		if int(a.Pseudo) >= numPseudos {
+			return a, errors.New("cache: pseudo id out of range")
+		}
+	case asm.OpImm:
+		a.Imm = d.i()
+	case asm.OpBlock:
+		bi := d.u()
+		if d.err != nil || bi >= uint64(len(fn.Blocks)) {
+			return a, errors.New("cache: branch target index out of range")
+		}
+		a.Block = fn.Blocks[bi]
+	case asm.OpSym:
+		switch d.byte() {
+		case symNil:
+		case symParam:
+			i := d.u()
+			if d.err != nil || i >= uint64(len(fn.Params)) {
+				return a, errors.New("cache: parameter index out of range")
+			}
+			a.Sym = fn.Params[i]
+		case symLocal:
+			i := d.u()
+			if d.err != nil || i >= uint64(len(fn.Locals)) {
+				return a, errors.New("cache: local index out of range")
+			}
+			a.Sym = fn.Locals[i]
+		case symNamed:
+			name := d.str()
+			s := named[name]
+			if s == nil {
+				return a, fmt.Errorf("cache: unresolved symbol %q", name)
+			}
+			a.Sym = s
+		default:
+			return a, errors.New("cache: bad symbol class")
+		}
+	case asm.OpNone:
+	default:
+		return a, fmt.Errorf("cache: bad operand kind %d", k)
+	}
+	return a, d.err
+}
+
+// enc appends a varint-based stream.
+type enc struct {
+	b []byte
+
+	regSetIdx map[*mach.RegSet]int
+	blockIdx  map[*ir.Block]int
+	params    map[*ir.Sym]int
+	locals    map[*ir.Sym]int
+}
+
+func (e *enc) u(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i(v int64)  { e.b = binary.AppendVarint(e.b, v) }
+
+func (e *enc) f(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+
+func (e *enc) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+func (e *enc) str(s string) {
+	e.u(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dec consumes an enc stream, latching the first error.
+type dec struct {
+	b   []byte
+	err error
+}
+
+var errTruncated = errors.New("cache: truncated entry")
+
+func (d *dec) u() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = errTruncated
+		return 0
+	}
+	d.b = d.b[n:]
+	return x
+}
+
+func (d *dec) i() int64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.err = errTruncated
+		return 0
+	}
+	d.b = d.b[n:]
+	return x
+}
+
+func (d *dec) f() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.err = errTruncated
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 1 {
+		d.err = errTruncated
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) bool() bool { return d.byte() != 0 }
+
+func (d *dec) str() string {
+	n := d.u()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.err = errTruncated
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"marion/internal/asm"
+	"marion/internal/cache"
 	"marion/internal/cc"
 	"marion/internal/driver"
 	"marion/internal/faults"
@@ -63,6 +64,10 @@ type CodeGenerator struct {
 	// Faults arms the deterministic fault-injection harness
 	// (internal/faults) for chaos testing.
 	Faults *faults.Set
+	// Cache, when non-nil, is the content-addressed compilation cache
+	// (internal/cache) consulted per function before the back end runs;
+	// hits are byte-identical to a fresh compile.
+	Cache *cache.Cache
 }
 
 // New builds a code generator for a shipped target.
@@ -115,6 +120,7 @@ func (g *CodeGenerator) CompileModule(mod *ir.Module) (*Result, error) {
 	c, err := driver.CompileModule(g.Machine, mod, driver.Config{
 		Strategy: g.Strategy, Options: g.Options, Workers: g.Workers,
 		Verify: g.Verify, Budget: g.Budget, Strict: g.Strict, Faults: g.Faults,
+		Cache: g.Cache,
 	})
 	if err != nil {
 		return nil, err

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"marion/internal/asm"
+	"marion/internal/cache"
 	"marion/internal/cc"
 	"marion/internal/faults"
 	"marion/internal/ilgen"
@@ -55,6 +56,10 @@ type Config struct {
 	Strict bool
 	// Faults arms the deterministic fault-injection harness.
 	Faults *faults.Set
+	// Cache, when non-nil, is the content-addressed compilation cache
+	// consulted per function before the back end runs; see
+	// pipeline.Config.Cache for the admission policy.
+	Cache *cache.Cache
 }
 
 // Compiled is the result of one compilation.
@@ -65,8 +70,14 @@ type Compiled struct {
 	Stats   map[string]*strategy.Stats
 	// PhaseTimes sums back end wall time per pipeline phase across all
 	// functions (under parallel compilation the sum can exceed the
-	// elapsed wall time).
+	// elapsed wall time). Only the accepted attempt of each function is
+	// counted — a function that walked the degradation ladder reports
+	// the rung that produced its code, so per-phase times describe the
+	// emitted program; ladder overhead is in RetryTime.
 	PhaseTimes map[string]time.Duration
+	// RetryTime sums the wall time failed degradation-ladder attempts
+	// spent before the accepted rung (zero when nothing degraded).
+	RetryTime time.Duration
 	// Sel sums the selection work counters across all functions
 	// (summed in deterministic source order).
 	Sel sel.Counters
@@ -141,6 +152,7 @@ func CompileModuleCtx(ctx context.Context, m *mach.Machine, mod *ir.Module, cfg 
 		Budget:       cfg.Budget,
 		Strict:       cfg.Strict,
 		Faults:       cfg.Faults,
+		Cache:        cfg.Cache,
 	})
 	if err := diags.Err(); err != nil {
 		return nil, err
@@ -158,8 +170,19 @@ func CompileModuleCtx(ctx context.Context, m *mach.Machine, mod *ir.Module, cfg 
 		if r.Fallback != nil {
 			out.Degradations = append(out.Degradations, *r.Fallback)
 		}
+		// A Result's timings include every ladder attempt; attribute
+		// only the accepted one to the per-phase totals so a degraded
+		// function is not double-counted across rungs.
+		accepted := 0
+		if r.Fallback != nil {
+			accepted = r.Fallback.Attempts - 1
+		}
 		for _, pt := range r.Timings {
-			out.PhaseTimes[pt.Phase] += pt.Time
+			if pt.Attempt == accepted {
+				out.PhaseTimes[pt.Phase] += pt.Time
+			} else {
+				out.RetryTime += pt.Time
+			}
 		}
 	}
 	return out, nil

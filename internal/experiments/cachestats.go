@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"time"
+
+	"marion/internal/cache"
+	"marion/internal/driver"
+	"marion/internal/livermore"
+	"marion/internal/metrics"
+	"marion/internal/strategy"
+	"marion/internal/targets"
+)
+
+// CacheBenchRow is one cold/warm measurement of the compilation cache
+// over the Livermore suite: the same module compiled twice against one
+// cache, first to populate it, then served from it. Speedup is the
+// back end wall-time ratio; the front end (parse + lower) runs outside
+// the timer for both.
+type CacheBenchRow struct {
+	Target      string  `json:"target"`
+	Strategy    string  `json:"strategy"`
+	Workers     int     `json:"workers"`
+	Funcs       int     `json:"funcs"`
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	Speedup     float64 `json:"speedup"`
+	WarmHits    int64   `json:"warm_hits"`
+	WarmMisses  int64   `json:"warm_misses"`
+	HitRate     float64 `json:"hit_rate"`
+	// Identical records the correctness gate: warm assembly and
+	// statistics byte-identical to cold. CacheBench fails when false.
+	Identical bool `json:"identical"`
+}
+
+// CacheBench measures the compilation cache on the Livermore suite for
+// one target across strategies and worker counts. Every warm run must
+// be byte-identical to its cold run and must serve every stored
+// function from the cache; a violation is an error, not just a row.
+func CacheBench(target string, kinds []strategy.Kind, workersList []int) ([]CacheBenchRow, error) {
+	m, err := targets.Load(target)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CacheBenchRow
+	for _, kind := range kinds {
+		for _, workers := range workersList {
+			// A fresh cache per cell: cold really is cold, and cells
+			// cannot warm each other across worker counts.
+			c, err := cache.New(cache.Options{Registry: metrics.NewRegistry()})
+			if err != nil {
+				return nil, err
+			}
+			cfg := driver.Config{Strategy: kind, Workers: workers, Cache: c}
+
+			// The front end runs outside the timers; each compile gets a
+			// freshly lowered module, as a recompile would.
+			coldMod, err := livermore.SuiteModule()
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			cold, err := driver.CompileModule(m, coldMod, cfg)
+			coldTime := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s cold: %w", target, kind, err)
+			}
+			afterCold := c.Stats()
+
+			warmMod, err := livermore.SuiteModule()
+			if err != nil {
+				return nil, err
+			}
+			start = time.Now()
+			warm, err := driver.CompileModule(m, warmMod, cfg)
+			warmTime := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s warm: %w", target, kind, err)
+			}
+			ws := c.Stats()
+
+			hits := ws.Hits() - afterCold.Hits()
+			misses := ws.Misses - afterCold.Misses
+			row := CacheBenchRow{
+				Target:      target,
+				Strategy:    kind.String(),
+				Workers:     workers,
+				Funcs:       len(coldMod.Funcs),
+				ColdSeconds: coldTime.Seconds(),
+				WarmSeconds: warmTime.Seconds(),
+				WarmHits:    hits,
+				WarmMisses:  misses,
+				Identical: cold.Prog.Print() == warm.Prog.Print() &&
+					reflect.DeepEqual(cold.Stats, warm.Stats) &&
+					cold.Sel == warm.Sel,
+			}
+			if warmTime > 0 {
+				row.Speedup = coldTime.Seconds() / warmTime.Seconds()
+			}
+			if hits+misses > 0 {
+				row.HitRate = float64(hits) / float64(hits+misses)
+			}
+			if !row.Identical {
+				return nil, fmt.Errorf("%s/%s workers=%d: warm output differs from cold",
+					target, kind, workers)
+			}
+			if hits != afterCold.Stores {
+				return nil, fmt.Errorf("%s/%s workers=%d: warm hits = %d, want %d (one per stored function)",
+					target, kind, workers, hits, afterCold.Stores)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatCacheBench renders cache bench rows as an aligned table.
+func FormatCacheBench(rows []CacheBenchRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Compilation cache: cold vs warm Livermore suite\n")
+	fmt.Fprintf(&b, "%-8s %-9s %7s %6s %9s %9s %8s %8s\n",
+		"target", "strategy", "workers", "funcs", "cold(s)", "warm(s)", "speedup", "hitrate")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-9s %7d %6d %9.4f %9.4f %7.1fx %7.0f%%\n",
+			r.Target, r.Strategy, r.Workers, r.Funcs,
+			r.ColdSeconds, r.WarmSeconds, r.Speedup, 100*r.HitRate)
+	}
+	return b.String()
+}
+
+// WriteCacheBenchJSON writes cache bench rows to path as indented JSON
+// (the BENCH_cache.json artifact).
+func WriteCacheBenchJSON(path string, rows []CacheBenchRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

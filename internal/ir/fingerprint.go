@@ -1,0 +1,238 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Digest is a canonical fingerprint of an IL function. Two functions
+// with equal digests are identical up to block label names (Block.ID),
+// pseudo-register numbering (RegID values), cosmetic names of
+// parameters, locals and pseudo-registers, and the function's own name;
+// everything the back end's output depends on — operators, types,
+// constants, DAG sharing structure, CFG shape, loop depths, referenced
+// global/function symbols with their layout, frame sizes — is hashed.
+//
+// The digest is the IR component of the compilation-cache key
+// (internal/cache): a compiled function is a pure function of
+// (Digest, machine fingerprint, strategy/config), so equal digests may
+// share a cached compilation.
+type Digest [32]byte
+
+// String returns the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// fpWriter accumulates the canonical byte stream into a hash. All
+// multi-byte values are written in fixed little-endian form; strings
+// and slices are length-prefixed so field boundaries cannot alias.
+type fpWriter struct {
+	h   hash.Hash
+	buf [8]byte
+
+	// Canonical renumbering state. Pseudo-registers are numbered in
+	// first-use order of the deterministic walk; blocks by their
+	// position in Func.Blocks; nodes and symbols by first visit (a
+	// revisit hashes a backreference, so DAG sharing — which changes
+	// what the selector emits — is part of the fingerprint).
+	reg    map[RegID]uint64
+	node   map[*Node]uint64
+	sym    map[*Sym]uint64
+	block  map[*Block]uint64
+	fn     *Func
+	nextID uint64
+}
+
+func (w *fpWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+func (w *fpWriter) i64(v int64) { w.u64(uint64(v)) }
+
+func (w *fpWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *fpWriter) byte(b byte) { w.h.Write([]byte{b}) }
+
+func (w *fpWriter) bool(b bool) {
+	if b {
+		w.byte(1)
+	} else {
+		w.byte(0)
+	}
+}
+
+func (w *fpWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+// regID hashes the canonical number of a pseudo-register, assigning the
+// next number (and hashing the register's declared type) on first use.
+// NoReg hashes a distinguished sentinel.
+func (w *fpWriter) regID(r RegID) {
+	if r == NoReg {
+		w.byte(0xF0)
+		return
+	}
+	id, ok := w.reg[r]
+	if !ok {
+		id = w.nextID
+		w.nextID++
+		w.reg[r] = id
+		w.byte(0xF1)
+		w.u64(id)
+		if int(r) < len(w.fn.Regs) {
+			w.byte(byte(w.fn.Regs[r].Type))
+		}
+		return
+	}
+	w.byte(0xF2)
+	w.u64(id)
+}
+
+// symRef hashes a symbol by first-visit identity. The first visit hashes
+// the fields the back end's output depends on; global and function
+// symbols additionally hash their name, which appears verbatim in the
+// emitted assembly (data directives, call targets) and is how the cache
+// rebinds a decoded entry. Parameter and local names are cosmetic.
+func (w *fpWriter) symRef(s *Sym) {
+	if s == nil {
+		w.byte(0xE0)
+		return
+	}
+	if id, ok := w.sym[s]; ok {
+		w.byte(0xE2)
+		w.u64(id)
+		return
+	}
+	id := w.nextID
+	w.nextID++
+	w.sym[s] = id
+	w.byte(0xE1)
+	w.u64(id)
+	w.byte(byte(s.Kind))
+	w.byte(byte(s.Type))
+	w.i64(int64(s.Size))
+	w.i64(int64(s.Offset))
+	w.bool(s.IsArray)
+	if s.Kind == SymGlobal || s.Kind == SymFunc {
+		w.str(s.Name)
+	}
+	w.u64(uint64(len(s.InitI)))
+	for _, v := range s.InitI {
+		w.i64(v)
+	}
+	w.u64(uint64(len(s.InitF)))
+	for _, v := range s.InitF {
+		w.f64(v)
+	}
+}
+
+// blockRef hashes a block by its canonical index (position in
+// Func.Blocks), never by its ID: label names are renumbering-invariant.
+func (w *fpWriter) blockRef(b *Block) {
+	if b == nil {
+		w.byte(0xD0)
+		return
+	}
+	w.byte(0xD1)
+	w.u64(w.block[b])
+}
+
+// nodeWalk hashes one expression node. A node already visited hashes as
+// a backreference: shared subtrees (DAGs) therefore fingerprint
+// differently from structurally-equal unshared trees — they compile
+// differently (the selector forces shared values into registers).
+func (w *fpWriter) nodeWalk(n *Node) {
+	if n == nil {
+		w.byte(0xC0)
+		return
+	}
+	if id, ok := w.node[n]; ok {
+		w.byte(0xC2)
+		w.u64(id)
+		return
+	}
+	id := w.nextID
+	w.nextID++
+	w.node[n] = id
+	w.byte(0xC1)
+	w.byte(byte(n.Op))
+	w.byte(byte(n.Type))
+	switch n.Op {
+	case Const:
+		w.i64(n.IVal)
+		w.f64(n.FVal)
+	case Reg, Asgn:
+		w.regID(n.Reg)
+	case Addr, Call:
+		w.symRef(n.Sym)
+	case Cvt:
+		w.byte(byte(n.From))
+	case Branch, Jump:
+		w.blockRef(n.Target)
+	}
+	w.u64(uint64(len(n.Kids)))
+	for _, k := range n.Kids {
+		w.nodeWalk(k)
+	}
+}
+
+// Fingerprint computes the canonical digest of the function. The walk
+// touches only slices in declaration/source order (never Go maps), so
+// the digest is deterministic across processes, worker counts and
+// map-iteration order, and invariant under block-ID and RegID
+// renumbering (see Digest).
+func (f *Func) Fingerprint() Digest {
+	w := &fpWriter{
+		h:     sha256.New(),
+		reg:   map[RegID]uint64{},
+		node:  map[*Node]uint64{},
+		sym:   map[*Sym]uint64{},
+		block: map[*Block]uint64{},
+		fn:    f,
+	}
+	w.str("marion-ir-fp-v1")
+	w.byte(byte(f.RetType))
+	w.i64(int64(f.LocalFrame))
+
+	w.u64(uint64(len(f.Params)))
+	for _, s := range f.Params {
+		w.symRef(s)
+	}
+	w.u64(uint64(len(f.Locals)))
+	for _, s := range f.Locals {
+		w.symRef(s)
+	}
+	w.u64(uint64(len(f.ParamRegs)))
+	for _, r := range f.ParamRegs {
+		w.regID(r)
+	}
+
+	for i, b := range f.Blocks {
+		w.block[b] = uint64(i)
+	}
+	w.u64(uint64(len(f.Blocks)))
+	for _, b := range f.Blocks {
+		w.i64(int64(b.LoopDepth))
+		w.u64(uint64(len(b.Succs)))
+		for _, s := range b.Succs {
+			w.blockRef(s)
+		}
+		w.u64(uint64(len(b.Preds)))
+		for _, p := range b.Preds {
+			w.blockRef(p)
+		}
+		w.u64(uint64(len(b.Stmts)))
+		for _, s := range b.Stmts {
+			w.nodeWalk(s)
+		}
+	}
+
+	var d Digest
+	w.h.Sum(d[:0])
+	return d
+}

@@ -204,19 +204,30 @@ func (n *Node) IsIntConst(v int64) bool {
 	return n.Op == Const && n.Type.IsInt() && n.IVal == v
 }
 
-// Clone returns a deep copy of the expression tree rooted at n. Shared
-// subtrees are duplicated, so Clone must not be used where DAG sharing is
-// meaningful.
+// Clone returns a deep copy of the expression DAG rooted at n. Sharing
+// is preserved: a subtree reachable along more than one path (a local
+// common subexpression created by CSE) is cloned exactly once, so the
+// clone has the same shape — and the same Fingerprint — as the
+// original. No node of the clone aliases a node of the original.
 func (n *Node) Clone() *Node {
+	return n.cloneMemo(map[*Node]*Node{})
+}
+
+func (n *Node) cloneMemo(memo map[*Node]*Node) *Node {
 	if n == nil {
 		return nil
 	}
-	c := *n
+	if c, ok := memo[n]; ok {
+		return c
+	}
+	c := &Node{}
+	*c = *n
+	memo[n] = c
 	c.Kids = make([]*Node, len(n.Kids))
 	for i, k := range n.Kids {
-		c.Kids[i] = k.Clone()
+		c.Kids[i] = k.cloneMemo(memo)
 	}
-	return &c
+	return c
 }
 
 func (n *Node) String() string {

@@ -200,7 +200,15 @@ func (m *Machine) Finalize() error {
 	// operator so the selector only iterates plausible candidates.
 	m.buildSelIndex()
 
-	return m.validate()
+	if err := m.validate(); err != nil {
+		return err
+	}
+
+	// Content digest for the compilation cache: a pure function of the
+	// loaded description, computed once so per-function cache keys are
+	// a cheap hash away.
+	m.fingerprint = m.computeFingerprint()
+	return nil
 }
 
 func (m *Machine) finalizeInstr(in *Instr) error {

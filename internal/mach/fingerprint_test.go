@@ -1,0 +1,35 @@
+package mach_test
+
+import (
+	"testing"
+
+	"marion/internal/targets"
+)
+
+// Two independent loads of the same description must fingerprint equal;
+// distinct targets must fingerprint distinct. (The digest is the
+// machine component of the compilation-cache key.)
+func TestMachineFingerprint(t *testing.T) {
+	seen := map[[32]byte]string{}
+	for _, name := range targets.Names() {
+		a, err := targets.Load(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := targets.Load(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fa, fb := a.Fingerprint(), b.Fingerprint()
+		if fa == ([32]byte{}) {
+			t.Fatalf("%s: zero fingerprint (Finalize not run?)", name)
+		}
+		if fa != fb {
+			t.Fatalf("%s: two loads fingerprint differently", name)
+		}
+		if prev, ok := seen[fa]; ok {
+			t.Fatalf("%s and %s share a fingerprint", name, prev)
+		}
+		seen[fa] = name
+	}
+}

@@ -430,6 +430,9 @@ type Machine struct {
 	NumPhys  int
 	aliasTab [][]PhysID // per PhysID: overlapping PhysIDs (incl. self)
 	selIdx   *SelIndex  // operator-indexed template tables (selindex.go)
+	// fingerprint is the description content digest, computed once by
+	// Finalize (see Fingerprint).
+	fingerprint [32]byte
 
 	regSetByName map[string]*RegSet
 	resByName    map[string]ResID

@@ -1,0 +1,200 @@
+// Package metrics is Marion's lightweight observability layer: a named
+// registry of lock-free counters and fixed-bucket histograms, shared by
+// the compilation cache (hit/miss/eviction counts) and the pipeline
+// (per-phase wall-time distributions), with optional expvar export and
+// pprof label helpers.
+//
+// All instruments are safe for concurrent use from the parallel
+// per-function back end workers: counters are single atomics and
+// histogram buckets are atomic arrays, so recording never takes a lock
+// (only instrument *lookup* takes a read lock; hot paths should resolve
+// instruments once and hold the pointer).
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket distribution. An observation lands in the
+// first bucket whose upper bound is >= the value; values beyond the
+// last bound land in the implicit overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last = overflow
+	sum    atomic.Int64   // sum of observations, in micro-units (1e-6)
+	n      atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(int64(v * 1e6))
+	h.n.Add(1)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a consistent-enough copy of a histogram: counts
+// are read bucket by bucket, so a snapshot taken under concurrent
+// observation may be off by in-flight increments but never corrupt.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(Bounds)+1, last = overflow
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    float64(h.sum.Load()) / 1e6,
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// TimeBuckets is the default bucket ladder for phase timings, in
+// seconds: 100µs .. ~100s, roughly ×3 per step.
+var TimeBuckets = []float64{
+	0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100,
+}
+
+// Registry is a named set of instruments. The zero value is NOT ready;
+// use NewRegistry or the package-level Default registry.
+type Registry struct {
+	mu    sync.RWMutex
+	ctrs  map[string]*Counter
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ctrs: map[string]*Counter{}, hists: map[string]*Histogram{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.ctrs[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.ctrs[name]; c == nil {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds (ascending) on first use; later calls ignore bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every instrument: counter values and histogram
+// snapshots, keyed by name.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot returns a copy of all current instrument values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.ctrs)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for n, c := range r.ctrs {
+		s.Counters[n] = c.Value()
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// String renders the snapshot as JSON (it also makes Registry an
+// expvar.Var).
+func (r *Registry) String() string {
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return fmt.Sprintf("%q", err.Error())
+	}
+	return string(b)
+}
+
+// PublishExpvar exports the registry under the given expvar name.
+// Publishing the same name twice is a no-op (expvar itself panics on
+// re-publication, which would make repeated CLI runs in one test
+// process fragile).
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r)
+}
+
+// Do runs fn with pprof labels attached to the goroutine, so CPU and
+// goroutine profiles of the parallel back end attribute samples to a
+// pipeline phase or function. Pairs are alternating key/value strings.
+func Do(ctx context.Context, fn func(context.Context), pairs ...string) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels(pairs...), fn)
+}

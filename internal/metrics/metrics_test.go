@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500, 7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{1, 2, 1, 1} // <=1, <=10, <=100, overflow
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	h.ObserveDuration(50 * time.Millisecond) // 0.05s -> first bucket (<=1)
+	if h.Snapshot().Counts[0] != 2 {
+		t.Fatal("duration observation missed its bucket")
+	}
+}
+
+func TestHistogramSameInstance(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("x", TimeBuckets)
+	b := r.Histogram("x", nil) // later bounds ignored
+	if a != b {
+		t.Fatal("same name returned different histograms")
+	}
+}
+
+func TestSnapshotAndExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	var s Snapshot
+	if err := json.Unmarshal([]byte(r.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a"] != 3 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	r.PublishExpvar("marion-test-metrics")
+	r.PublishExpvar("marion-test-metrics") // second publish must not panic
+	if expvar.Get("marion-test-metrics") == nil {
+		t.Fatal("expvar not published")
+	}
+}
+
+func TestDoLabels(t *testing.T) {
+	ran := false
+	Do(nil, func(ctx context.Context) { ran = true }, "phase", "select")
+	if !ran {
+		t.Fatal("Do did not run fn")
+	}
+}

@@ -21,9 +21,11 @@ import (
 
 	"marion/internal/asm"
 	"marion/internal/budget"
+	"marion/internal/cache"
 	"marion/internal/faults"
 	"marion/internal/ir"
 	"marion/internal/mach"
+	"marion/internal/metrics"
 	"marion/internal/sel"
 	"marion/internal/strategy"
 	"marion/internal/verify"
@@ -73,10 +75,22 @@ type Ctx struct {
 	Timings []PhaseTiming
 }
 
-// PhaseTiming is one phase's wall time for one function.
+// PhaseTiming is one phase's wall time for one function, tagged with
+// the degradation-ladder attempt and strategy rung that ran the phase.
+// A function's Result carries the timings of every attempt, including
+// failed rungs; aggregators that want "time attributed to the emitted
+// code" must filter on the accepted attempt (Result.Fallback tells
+// which), while "total time spent" sums everything. The synthetic
+// phases "cache" (a hit served instead of compiling) and "cachestore"
+// (admission verify + encode) appear only when a cache is configured.
 type PhaseTiming struct {
 	Phase string
 	Time  time.Duration
+	// Attempt is the ladder rung index that ran this phase (0 = the
+	// configured strategy, matching Ctx.Attempt).
+	Attempt int
+	// Strategy is the rung's strategy kind.
+	Strategy strategy.Kind
 }
 
 // Phase is one named pipeline step with the uniform signature.
@@ -157,6 +171,18 @@ type Config struct {
 	// Faults arms the deterministic fault-injection harness
 	// (internal/faults); nil injects nothing.
 	Faults *faults.Set
+
+	// Cache, when non-nil, is the content-addressed compilation cache:
+	// each function is looked up by (canonical IR fingerprint, machine
+	// fingerprint, config key) before any phase runs; a hit bypasses the
+	// whole pipeline and rebinds the stored code onto the current IR.
+	// Entries are admitted only after the primary (non-degraded) attempt
+	// verifies clean against the machine description — when Verify is
+	// off, the admission check runs internal/verify anyway and a dirty
+	// result is simply not cached. The cache is ignored entirely when
+	// Faults is armed: injected failures must not poison the cache, and
+	// hits must not mask the sites under test.
+	Cache *cache.Cache
 }
 
 // Degradation records that a function was emitted by a fallback rung of
@@ -216,6 +242,17 @@ func (p *Pipeline) Run(ctx context.Context, m *mach.Machine, funcs []*ir.Func, c
 		return results, diags
 	}
 
+	// The machine and config components of the cache key are shared by
+	// every function in the run; compute them once. Armed faults disable
+	// the cache (see Config.Cache).
+	var keys *keyParts
+	if cfg.Cache != nil && cfg.Faults == nil {
+		keys = &keyParts{
+			mach: m.Fingerprint(),
+			cfg:  cache.ConfigKey(cfg.Strategy, cfg.Options, cfg.LinearSelect),
+		}
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -223,7 +260,7 @@ func (p *Pipeline) Run(ctx context.Context, m *mach.Machine, funcs []*ir.Func, c
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = p.runOne(ctx, m, i, funcs[i], cfg, diags)
+				results[i] = p.runOne(ctx, m, i, funcs[i], cfg, keys, diags)
 			}
 		}()
 	}
@@ -245,13 +282,38 @@ func (p *Pipeline) Run(ctx context.Context, m *mach.Machine, funcs []*ir.Func, c
 	return results, diags
 }
 
+// keyParts carries the per-run cache key components; nil means the
+// cache is off for this run.
+type keyParts struct {
+	mach [32]byte
+	cfg  [32]byte
+}
+
 // runOne compiles a single function, walking the degradation ladder on
 // failure: the configured strategy first, then (unless Config.Strict)
 // each fallback rung on a pristine clone of the IR, with every fallback
 // result re-checked by internal/verify before acceptance. When every
 // rung fails, the PRIMARY attempt's error is recorded as the
 // diagnostic, annotated with the number of failed fallbacks.
-func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *ir.Func, cfg Config, diags *Diagnostics) *Result {
+//
+// With a cache configured, the function is first looked up by content
+// address (the fingerprint is taken here, before the glue transform
+// mutates the IR); a hit bypasses every phase. A verify-clean primary
+// result is stored back; degraded results never are.
+func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *ir.Func, cfg Config, keys *keyParts, diags *Diagnostics) *Result {
+	var key cache.Key
+	if keys != nil {
+		start := time.Now()
+		key = cache.FuncKey(fn.Fingerprint(), keys.mach, keys.cfg)
+		if res := p.cacheLookup(key, m, fn, cfg); res != nil {
+			res.Timings = []PhaseTiming{{
+				Phase: "cache", Time: time.Since(start), Strategy: cfg.Strategy,
+			}}
+			phaseHist("cache").ObserveDuration(time.Since(start))
+			return res
+		}
+	}
+
 	rungs := []strategy.Kind{cfg.Strategy}
 	if !cfg.Strict {
 		rungs = append(rungs, strategy.FallbackChain(cfg.Strategy)...)
@@ -265,14 +327,19 @@ func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *i
 
 	var firstErr error
 	var firstPhase string
+	// prior accumulates the tagged phase timings of failed attempts so
+	// the accepted attempt's Result reports all work spent, not just the
+	// successful rung's share.
+	var prior []PhaseTiming
 	for attempt, kind := range rungs {
 		irFn := fn
 		if attempt > 0 {
 			irFn = pristine.Clone()
 		}
-		res, phase, err := p.tryOne(ctx, m, index, irFn, cfg, kind, attempt)
+		res, timings, phase, err := p.tryOne(ctx, m, index, irFn, cfg, kind, attempt)
 		if err == nil {
 			res.IR = fn // report under the module's own *ir.Func
+			res.Timings = append(prior, res.Timings...)
 			if attempt > 0 {
 				res.Fallback = &Degradation{
 					Func:     fn.Name,
@@ -282,9 +349,12 @@ func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *i
 					Phase:    firstPhase,
 					Reason:   firstErr.Error(),
 				}
+			} else if keys != nil {
+				p.cacheStore(key, m, fn, cfg, res)
 			}
 			return res
 		}
+		prior = append(prior, timings...)
 		if attempt == 0 {
 			firstErr, firstPhase = err, phase
 		}
@@ -305,11 +375,13 @@ func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *i
 
 // tryOne pushes one function through every phase under one ladder rung,
 // timing each phase, recovering panics into errors, and enforcing the
-// per-attempt budget. It returns the failing phase's name with the
-// error. Fallback attempts (attempt > 0) are re-checked by
-// internal/verify before acceptance, whether or not Config.Verify is
-// set: a degraded result is only accepted when it proves clean.
-func (p *Pipeline) tryOne(ctx context.Context, m *mach.Machine, index int, fn *ir.Func, cfg Config, kind strategy.Kind, attempt int) (*Result, string, error) {
+// per-attempt budget. On failure it returns the phases' timings so far
+// (tagged with this attempt) along with the failing phase's name and
+// the error, so failed rungs still account for their wall time.
+// Fallback attempts (attempt > 0) are re-checked by internal/verify
+// before acceptance, whether or not Config.Verify is set: a degraded
+// result is only accepted when it proves clean.
+func (p *Pipeline) tryOne(ctx context.Context, m *mach.Machine, index int, fn *ir.Func, cfg Config, kind strategy.Kind, attempt int) (*Result, []PhaseTiming, string, error) {
 	actx := ctx
 	if cfg.Budget > 0 {
 		var cancel context.CancelFunc
@@ -334,13 +406,17 @@ func (p *Pipeline) tryOne(ctx context.Context, m *mach.Machine, index int, fn *i
 	}
 	for _, ph := range p.Phases {
 		if err := actx.Err(); err != nil {
-			return nil, ph.Name, budgetize(ph.Name, err, ctx, cfg.Budget)
+			return nil, c.Timings, ph.Name, budgetize(ph.Name, err, ctx, cfg.Budget)
 		}
 		start := time.Now()
 		err := runPhase(c, ph)
-		c.Timings = append(c.Timings, PhaseTiming{Phase: ph.Name, Time: time.Since(start)})
+		elapsed := time.Since(start)
+		c.Timings = append(c.Timings, PhaseTiming{
+			Phase: ph.Name, Time: elapsed, Attempt: attempt, Strategy: kind,
+		})
+		phaseHist(ph.Name).ObserveDuration(elapsed)
 		if err != nil {
-			return nil, ph.Name, budgetize(ph.Name, err, ctx, cfg.Budget)
+			return nil, c.Timings, ph.Name, budgetize(ph.Name, err, ctx, cfg.Budget)
 		}
 	}
 	if attempt > 0 {
@@ -353,14 +429,74 @@ func (p *Pipeline) tryOne(ctx context.Context, m *mach.Machine, index int, fn *i
 			})
 		}
 		if !rep.Empty() {
-			return nil, "verify", fmt.Errorf("fallback %s rejected by verifier: %d finding(s):\n%s",
+			return nil, c.Timings, "verify", fmt.Errorf("fallback %s rejected by verifier: %d finding(s):\n%s",
 				kind, len(rep.Findings), rep)
 		}
 	}
 	return &Result{
 		IR: fn, Func: c.Func, Stats: c.Stats, Sel: c.Sel,
 		Verify: c.Verify, Timings: c.Timings, Strategy: kind,
-	}, "", nil
+	}, nil, "", nil
+}
+
+// phaseHist returns the shared per-phase wall-time histogram.
+func phaseHist(phase string) *metrics.Histogram {
+	return metrics.Default().Histogram("pipeline.phase."+phase+".seconds", metrics.TimeBuckets)
+}
+
+// cacheLookup tries to serve fn from the cache. A blob that fails
+// structural decode (stale format, wrong module shape) is rejected so
+// the slot heals with a fresh compile. The returned Result mirrors a
+// cold primary compile: same code, stats, selection counters and (when
+// verification is on) a clean report — entries are only admitted
+// verify-clean, so a hit's report is empty by construction.
+func (p *Pipeline) cacheLookup(key cache.Key, m *mach.Machine, fn *ir.Func, cfg Config) *Result {
+	payload, ok := cfg.Cache.Get(key)
+	if !ok {
+		return nil
+	}
+	ent, err := cache.Decode(payload, m, fn)
+	if err != nil {
+		cfg.Cache.Reject(key)
+		return nil
+	}
+	res := &Result{
+		IR: fn, Func: ent.Func, Stats: &ent.Stats, Sel: ent.Sel,
+		Strategy: cfg.Strategy,
+	}
+	if cfg.Verify {
+		res.Verify = &verify.Report{}
+	}
+	return res
+}
+
+// cacheStore admits a primary-attempt result into the cache. Admission
+// requires a clean verifier report: when the verify phase already ran,
+// its report is reused; otherwise internal/verify runs here, at store
+// time only (the miss path pays it once; hits never do). A result that
+// does not prove clean is simply not cached — the run's own output is
+// unaffected.
+func (p *Pipeline) cacheStore(key cache.Key, m *mach.Machine, fn *ir.Func, cfg Config, res *Result) {
+	start := time.Now()
+	rep := res.Verify
+	if rep == nil {
+		rep = verify.Func(m, res.Func, verify.Options{
+			IssueOnly: cfg.Options.Sched.CurrentCycleOnly,
+		})
+	}
+	if !rep.Empty() {
+		return
+	}
+	payload, err := cache.Encode(m, fn, res.Func, res.Stats, res.Sel)
+	if err != nil {
+		return
+	}
+	cfg.Cache.Put(key, payload)
+	elapsed := time.Since(start)
+	res.Timings = append(res.Timings, PhaseTiming{
+		Phase: "cachestore", Time: elapsed, Strategy: res.Strategy,
+	})
+	phaseHist("cachestore").ObserveDuration(elapsed)
 }
 
 // runPhase runs one phase with panic isolation: a panic in any phase
