@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench benchsmoke cachesmoke verify-all chaos ci
+.PHONY: build test vet race bench benchsmoke cachesmoke loadsmoke verify-all chaos ci
 
 TARGETS    := r2000 r2000s m88000 i860 rs6000 toyp
 STRATEGIES := naive postpass ips rase local
@@ -54,6 +54,15 @@ verify-all:
 	  echo "verify-all: $$f clean on all targets/strategies"; \
 	done
 
+# Compile-service smoke: boot a race-instrumented mariond on an
+# ephemeral port, burst it past its admission budget (asserting a clean
+# 2xx/429 split and byte-identical repeat bodies), byte-compare served
+# assembly against marionc for every example source, then SIGTERM and
+# require a clean drain with a flushed disk cache tier. Emits
+# BENCH_serve.json.
+loadsmoke:
+	GO="$(GO)" sh scripts/loadsmoke.sh
+
 # Chaos sweep: arm every fault-injection site x mode (panic, err, hang)
 # on every target under every strategy and prove the process never
 # dies — each faulted function walks the degradation ladder and the
@@ -62,4 +71,4 @@ verify-all:
 chaos:
 	$(GO) run ./cmd/marionstats -faultmatrix
 
-ci: build vet test race benchsmoke cachesmoke verify-all chaos
+ci: build vet test race benchsmoke cachesmoke loadsmoke verify-all chaos

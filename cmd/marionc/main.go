@@ -39,6 +39,12 @@
 // share them. With -stats, cache hit/miss counts print to stderr.
 // An armed -faults spec disables the cache for that run.
 //
+// A file ending in .il is read as textual IL (internal/iltext) and
+// skips the C front end; -emit-il stops after the front end and prints
+// the module as textual IL instead of compiling it, so the two compose
+// into a C -> IL -> assembly pipeline across marionc runs (or across
+// machines: mariond accepts the same IL).
+//
 // When compilation fails, marionc prints EVERY structured diagnostic —
 // one line per failing function with its phase — not just the first;
 // a recovered phase panic prints its (normalized) stack.
@@ -56,7 +62,10 @@ import (
 
 	"marion/internal/cache"
 	"marion/internal/core"
+	"marion/internal/driver"
 	"marion/internal/faults"
+	"marion/internal/iltext"
+	"marion/internal/ir"
 	"marion/internal/pipeline"
 	"marion/internal/strategy"
 	"marion/internal/verify"
@@ -91,6 +100,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"enable the content-addressed compilation cache (in-memory; add -cachedir to persist)")
 	cacheDir := fs.String("cachedir", "",
 		"on-disk cache directory, shared across runs (implies -cache)")
+	emitIL := fs.Bool("emit-il", false,
+		"stop after the front end and print the module as textual IL (compilable by marionc/mariond)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -109,6 +120,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return fail(stderr, err)
+	}
+	isIL := strings.HasSuffix(file, ".il")
+	if *emitIL {
+		var mod *ir.Module
+		if isIL {
+			mod, err = iltext.Parse(file, string(src)) // normalizing re-print
+		} else {
+			mod, err = driver.Frontend(file, string(src))
+		}
+		if err != nil {
+			return fail(stderr, err)
+		}
+		return emit(stdout, stderr, *out, iltext.Print(mod))
 	}
 	kind, err := strategy.ParseKind(*strat)
 	if err != nil {
@@ -136,20 +160,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		gen.Cache = ch
 	}
-	res, err := gen.Compile(file, string(src))
+	var res *core.Result
+	if isIL {
+		res, err = gen.CompileIL(file, string(src))
+	} else {
+		res, err = gen.Compile(file, string(src))
+	}
 	if err != nil {
 		return fail(stderr, err)
 	}
 	for _, d := range res.Degradations {
 		fmt.Fprintf(stderr, "marionc: note: %s\n", d.String())
 	}
-	text := res.Program.Print()
-	if *out != "" {
-		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-			return fail(stderr, err)
-		}
-	} else {
-		fmt.Fprint(stdout, text)
+	if code := emit(stdout, stderr, *out, res.Program.Print()); code != 0 {
+		return code
 	}
 	if *stats {
 		var names []string
@@ -174,6 +198,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		printFindings(stderr, res.Verify)
 		return 1
 	}
+	return 0
+}
+
+// emit writes text to the -o file or stdout; exit status 0 or 1.
+func emit(stdout, stderr io.Writer, out, text string) int {
+	if out != "" {
+		if err := os.WriteFile(out, []byte(text), 0o644); err != nil {
+			return fail(stderr, err)
+		}
+		return 0
+	}
+	fmt.Fprint(stdout, text)
 	return 0
 }
 

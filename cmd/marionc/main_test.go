@@ -56,6 +56,53 @@ func TestRunBadSourceExitsNonZero(t *testing.T) {
 	}
 }
 
+// TestEmitILRoundTrip drives the split pipeline: C -> -emit-il -> .il
+// input -> assembly, and requires the result byte-identical to the
+// direct C compile.
+func TestEmitILRoundTrip(t *testing.T) {
+	cfile := writeTemp(t, "ok.c", `
+int g;
+int f(int a, int b) { return a * g + b; }`)
+
+	var direct, errb strings.Builder
+	if code := run([]string{"-target", "r2000", cfile}, &direct, &errb); code != 0 {
+		t.Fatalf("direct compile: exit %d, stderr: %s", code, errb.String())
+	}
+
+	var il strings.Builder
+	errb.Reset()
+	if code := run([]string{"-emit-il", cfile}, &il, &errb); code != 0 {
+		t.Fatalf("-emit-il: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(il.String(), "func f ret int") {
+		t.Fatalf("-emit-il output does not look like IL:\n%s", il.String())
+	}
+
+	ilfile := writeTemp(t, "ok.il", il.String())
+	var viaIL strings.Builder
+	errb.Reset()
+	if code := run([]string{"-target", "r2000", ilfile}, &viaIL, &errb); code != 0 {
+		t.Fatalf("compile .il: exit %d, stderr: %s", code, errb.String())
+	}
+	// The module is named after the input file; normalize before the
+	// byte comparison.
+	want := strings.ReplaceAll(direct.String(), cfile, ilfile)
+	if viaIL.String() != want {
+		t.Errorf("IL detour changed the assembly:\n--- direct\n%s\n--- via IL\n%s",
+			direct.String(), viaIL.String())
+	}
+
+	// -emit-il on a .il input is a normalizing re-print.
+	var again strings.Builder
+	errb.Reset()
+	if code := run([]string{"-emit-il", ilfile}, &again, &errb); code != 0 {
+		t.Fatalf("-emit-il on .il: exit %d, stderr: %s", code, errb.String())
+	}
+	if again.String() != il.String() {
+		t.Error("-emit-il on its own output is not idempotent")
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run(nil, &out, &errb); code != 2 {

@@ -1,0 +1,145 @@
+// Command mariond is the Marion compile service: marionc's pipeline
+// behind a long-running HTTP daemon (internal/server).
+//
+// Usage:
+//
+//	mariond -addr :8527
+//	mariond -addr 127.0.0.1:0 -addrfile /tmp/mariond.addr
+//	mariond -admit 8 -queue 16 -deadline 10s
+//	mariond -cachedir /var/cache/marion -cachemb 256
+//	mariond -targets r2000,m88000
+//
+// The daemon loads each target's machine description once and shares
+// the finalized machines — and one content-addressed compilation
+// cache — across every request. POST /compile takes C-subset or
+// textual-IL source and returns assembly plus structured diagnostics
+// as JSON; accepted requests produce output byte-identical to marionc.
+//
+// Admission control bounds concurrent compiles (-admit) and the wait
+// queue (-queue); beyond both, requests are shed immediately with
+// 429 and Retry-After. Each request runs under a deadline (the
+// X-Marion-Deadline-Ms header, clamped to -maxdeadline, else
+// -deadline) that propagates into the scheduler and allocator loops:
+// an expired request returns per-function diagnostics, never a hung
+// connection.
+//
+// SIGTERM or SIGINT begins a graceful drain: /readyz flips to 503 and
+// new compiles are rejected, in-flight requests finish (bounded by
+// -draintimeout), the cache's disk tier is flushed, and the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"marion/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit. Exit status: 0 clean
+// drain, 1 runtime failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mariond", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8527", "listen address (port 0 picks a free port)")
+	addrFile := fs.String("addrfile", "",
+		"write the actual listen address to this file once serving (for scripts with -addr :0)")
+	admit := fs.Int("admit", 0, "max concurrent compiles (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "max requests waiting for a compile slot (0 = 2*admit)")
+	deadline := fs.Duration("deadline", 30*time.Second,
+		"default per-request deadline when no "+server.DeadlineHeader+" header is sent")
+	maxDeadline := fs.Duration("maxdeadline", 2*time.Minute,
+		"upper clamp on client-supplied deadlines")
+	budget := fs.Duration("budget", 0,
+		"default per-function compilation budget (0 = the request deadline alone)")
+	workers := fs.Int("workers", 1, "per-request back end workers (output is identical for any value)")
+	cacheMB := fs.Int64("cachemb", 64, "in-memory cache size in MiB, shared across requests")
+	cacheDir := fs.String("cachedir", "", "on-disk cache directory, flushed on drain")
+	targetList := fs.String("targets", "", "comma-separated targets to serve (default: all)")
+	drainTimeout := fs.Duration("draintimeout", 30*time.Second,
+		"how long a drain waits for in-flight requests before closing connections")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: mariond [flags]")
+		return 2
+	}
+
+	cfg := server.Config{
+		MaxInflight:     *admit,
+		MaxQueue:        *queue,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		Budget:          *budget,
+		Workers:         *workers,
+		CacheBytes:      *cacheMB << 20,
+		CacheDir:        *cacheDir,
+	}
+	if *targetList != "" {
+		for _, t := range strings.Split(*targetList, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				cfg.Targets = append(cfg.Targets, t)
+			}
+		}
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "mariond:", err)
+		return 1
+	}
+	if warn := s.Warning(); warn != nil {
+		fmt.Fprintln(stderr, "mariond: warning:", warn)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "mariond:", err)
+		return 1
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(stderr, "mariond:", err)
+			return 1
+		}
+	}
+
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "mariond: serving %s on %s\n",
+		strings.Join(s.Targets(), ","), ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "mariond:", err)
+		return 1
+	case got := <-sig:
+		fmt.Fprintf(stdout, "mariond: %v: draining\n", got)
+		s.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(stderr, "mariond: drain timed out:", err)
+			hs.Close()
+		}
+		n := s.Close()
+		fmt.Fprintf(stdout, "mariond: drained, flushed %d cache entries\n", n)
+		return 0
+	}
+}

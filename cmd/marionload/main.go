@@ -1,0 +1,329 @@
+// Command marionload is a concurrent load generator for mariond.
+//
+// Usage:
+//
+//	marionload -addr 127.0.0.1:8527 -n 200 -c 16
+//	marionload -addr $ADDR -n 400 -c 32 -json BENCH_serve.json
+//	marionload -addr $ADDR -one examples/c/livermore.c -target r2000
+//
+// The default mode fires -n compile requests from -c concurrent
+// clients, cycling through the shipped example sources, the configured
+// targets and strategies, and reports throughput, client-observed
+// latency quantiles (p50/p99), the 2xx/429/other split, and the
+// server's cache hit rate (read from /statz). With -json the same
+// numbers are written as a benchmark artifact.
+//
+// -check repeats every distinct request key and fails if the server
+// ever answers the same key with different assembly bytes (the cache
+// must be invisible). -require-shed fails the run if the server never
+// shed load — used by the load smoke to prove admission control
+// actually engaged.
+//
+// -one sends a single request and prints the returned assembly to
+// stdout, so scripts can byte-compare served output against marionc.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"marion/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Report is the BENCH_serve.json artifact.
+type Report struct {
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Seconds     float64 `json:"seconds"`
+	Throughput  float64 `json:"throughput_rps"`
+
+	OK    int `json:"ok"`    // 2xx
+	Shed  int `json:"shed"`  // 429
+	Other int `json:"other"` // anything else (failures)
+
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+
+	// ShedRate is shed / requests; HitRate is the server's cache hits
+	// over lookups at the end of the run (from /statz).
+	ShedRate float64 `json:"shed_rate"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("marionload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8527", "mariond address (host:port)")
+	n := fs.Int("n", 100, "total requests")
+	c := fs.Int("c", 8, "concurrent clients")
+	jsonOut := fs.String("json", "", "write the report as JSON to this file")
+	targetList := fs.String("targets", "r2000,m88000", "comma-separated targets to cycle")
+	stratList := fs.String("strategies", "postpass", "comma-separated strategies to cycle")
+	srcGlob := fs.String("sources", "", "glob of .c sources to cycle (default: built-in snippets)")
+	deadlineMs := fs.Int("deadline", 0, "per-request deadline header in ms (0 = server default)")
+	check := fs.Bool("check", false, "repeat each distinct request and require byte-identical bodies")
+	requireShed := fs.Bool("require-shed", false, "fail unless at least one request was shed (429)")
+	one := fs.String("one", "", "send one request for this .c file and print the assembly")
+	oneTarget := fs.String("target", "r2000", "target for -one")
+	oneStrategy := fs.String("strategy", "postpass", "strategy for -one")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	base := "http://" + *addr
+
+	if *one != "" {
+		return runOne(base, *one, *oneTarget, *oneStrategy, stdout, stderr)
+	}
+
+	srcs, err := loadSources(*srcGlob)
+	if err != nil {
+		fmt.Fprintln(stderr, "marionload:", err)
+		return 1
+	}
+	targets := splitList(*targetList)
+	strats := splitList(*stratList)
+
+	type job struct {
+		body []byte
+		key  string
+	}
+	jobs := make([]job, *n)
+	for i := range jobs {
+		src := srcs[i%len(srcs)]
+		target := targets[(i/len(srcs))%len(targets)]
+		strat := strats[(i/len(srcs)/len(targets))%len(strats)]
+		body, _ := json.Marshal(server.CompileRequest{
+			Source:   src.text,
+			Filename: src.name,
+			Target:   target,
+			Strategy: strat,
+		})
+		jobs[i] = job{body: body, key: src.name + "|" + target + "|" + strat}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		bodies    = map[string][]byte{} // key -> first OK assembly (-check)
+		ok, shed  atomic.Int64
+		other     atomic.Int64
+		mismatch  atomic.Int64
+		next      atomic.Int64
+	)
+	client := &http.Client{Timeout: 5 * time.Minute}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				t0 := time.Now()
+				status, body := post(client, base, jobs[i].body, *deadlineMs, stderr)
+				lat := time.Since(t0)
+				switch {
+				case status >= 200 && status < 300:
+					ok.Add(1)
+					mu.Lock()
+					latencies = append(latencies, float64(lat)/float64(time.Millisecond))
+					if *check {
+						var resp server.CompileResponse
+						if json.Unmarshal(body, &resp) == nil {
+							if prev, seen := bodies[jobs[i].key]; !seen {
+								bodies[jobs[i].key] = []byte(resp.Assembly)
+							} else if !bytes.Equal(prev, []byte(resp.Assembly)) {
+								mismatch.Add(1)
+							}
+						}
+					}
+					mu.Unlock()
+				case status == http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Requests:    *n,
+		Concurrency: *c,
+		Seconds:     elapsed.Seconds(),
+		OK:          int(ok.Load()),
+		Shed:        int(shed.Load()),
+		Other:       int(other.Load()),
+		ShedRate:    float64(shed.Load()) / float64(*n),
+	}
+	if rep.Seconds > 0 {
+		rep.Throughput = float64(*n) / rep.Seconds
+	}
+	sort.Float64s(latencies)
+	rep.P50Ms = quantile(latencies, 0.50)
+	rep.P99Ms = quantile(latencies, 0.99)
+	rep.HitRate = fetchHitRate(client, base, stderr)
+
+	fmt.Fprintf(stdout,
+		"marionload: %d requests, %d clients, %.2fs (%.1f rps)\n"+
+			"  2xx %d, 429 %d, other %d (shed rate %.2f)\n"+
+			"  latency p50 %.1fms p99 %.1fms, server cache hit rate %.2f\n",
+		rep.Requests, rep.Concurrency, rep.Seconds, rep.Throughput,
+		rep.OK, rep.Shed, rep.Other, rep.ShedRate,
+		rep.P50Ms, rep.P99Ms, rep.HitRate)
+
+	if *jsonOut != "" {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "marionload:", err)
+			return 1
+		}
+	}
+	if mismatch.Load() > 0 {
+		fmt.Fprintf(stderr, "marionload: FAIL: %d non-identical repeat responses\n", mismatch.Load())
+		return 1
+	}
+	if *requireShed && rep.Shed == 0 {
+		fmt.Fprintln(stderr, "marionload: FAIL: no request was shed (admission control never engaged)")
+		return 1
+	}
+	if rep.Other > 0 {
+		fmt.Fprintf(stderr, "marionload: FAIL: %d request(s) neither 2xx nor 429\n", rep.Other)
+		return 1
+	}
+	return 0
+}
+
+// runOne sends a single compile and prints the assembly, for scripts
+// that byte-compare served output against marionc.
+func runOne(base, file, target, strat string, stdout, stderr io.Writer) int {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(stderr, "marionload:", err)
+		return 1
+	}
+	body, _ := json.Marshal(server.CompileRequest{
+		Source: string(src), Filename: file, Target: target, Strategy: strat,
+	})
+	client := &http.Client{Timeout: 5 * time.Minute}
+	status, respBody := post(client, base, body, 0, stderr)
+	if status != http.StatusOK {
+		fmt.Fprintf(stderr, "marionload: status %d: %s\n", status, respBody)
+		return 1
+	}
+	var resp server.CompileResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		fmt.Fprintln(stderr, "marionload:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, resp.Assembly)
+	return 0
+}
+
+func post(client *http.Client, base string, body []byte, deadlineMs int, stderr io.Writer) (int, []byte) {
+	req, err := http.NewRequest(http.MethodPost, base+"/compile", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(stderr, "marionload:", err)
+		return 0, nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if deadlineMs > 0 {
+		req.Header.Set(server.DeadlineHeader, fmt.Sprint(deadlineMs))
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		fmt.Fprintln(stderr, "marionload:", err)
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// fetchHitRate reads the server's cache stats from /statz.
+func fetchHitRate(client *http.Client, base string, stderr io.Writer) float64 {
+	resp, err := client.Get(base + "/statz")
+	if err != nil {
+		fmt.Fprintln(stderr, "marionload: statz:", err)
+		return 0
+	}
+	defer resp.Body.Close()
+	var st server.Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0
+	}
+	lookups := st.Cache.Hits() + st.Cache.Misses
+	if lookups == 0 {
+		return 0
+	}
+	return float64(st.Cache.Hits()) / float64(lookups)
+}
+
+type source struct{ name, text string }
+
+// loadSources reads the cycle set: a glob, or small built-in snippets
+// so the tool works with no checkout around it.
+func loadSources(glob string) ([]source, error) {
+	if glob == "" {
+		return []source{
+			{"load0.c", "int f0(int a, int b) { return a * b + 7; }\n"},
+			{"load1.c", "int f1(int n) { int s; int i; s = 0; for (i = 0; i < n; i = i + 1) s = s + i * i; return s; }\n"},
+			{"load2.c", "double f2(double x) { return x * x - 2.0 * x + 1.0; }\n"},
+		}, nil
+	}
+	files, err := filepath.Glob(glob)
+	if err != nil || len(files) == 0 {
+		return nil, fmt.Errorf("no sources match %q (%v)", glob, err)
+	}
+	var out []source
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, source{f, string(b)})
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{""}
+	}
+	return out
+}
+
+// quantile returns the q-th quantile of sorted xs (nearest rank).
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(xs)-1) + 0.5)
+	return xs[i]
+}

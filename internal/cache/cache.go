@@ -235,6 +235,39 @@ func (c *Cache) Reject(k Key) {
 	c.rejects.Inc()
 }
 
+// Flush writes every in-memory entry that is missing from the on-disk
+// tier (a Put's disk write can fail silently — full disk, torn
+// shutdown — and entries born before the tier's directory existed have
+// no file at all). It returns the number of entries written. The
+// compile-service daemon calls it during graceful drain so a restart
+// warms from a complete disk tier; with no disk tier it is a no-op.
+func (c *Cache) Flush() int {
+	if c.dir == "" {
+		return 0
+	}
+	written := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		pending := make(map[Key][]byte, len(s.items))
+		for k, n := range s.items {
+			pending[k] = n.blob
+		}
+		s.mu.Unlock()
+		// Write outside the shard lock: blobs are immutable once framed
+		// (replacement swaps the slice, never mutates it), and identical
+		// content by construction.
+		for k, blob := range pending {
+			if _, err := os.Stat(c.path(k)); err == nil {
+				continue
+			}
+			c.writeFile(k, blob)
+			written++
+		}
+	}
+	return written
+}
+
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() Stats {
 	return Stats{

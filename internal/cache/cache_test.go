@@ -231,3 +231,45 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Fatal("truncated blob not detected")
 	}
 }
+
+// TestFlush covers the drain path: entries whose disk file is missing
+// (lost write, late-created tier) are rewritten; present ones are not.
+func TestFlush(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir, Registry: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.Put(testKey(i), []byte(fmt.Sprintf("payload-%d", i)))
+	}
+	if n := c.Flush(); n != 0 {
+		t.Fatalf("flush after clean puts wrote %d entries, want 0", n)
+	}
+
+	// Lose two disk files; flush must restore exactly those.
+	for i := 0; i < 2; i++ {
+		if err := os.Remove(filepath.Join(dir, testKey(i).String()+".mce")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Flush(); n != 2 {
+		t.Fatalf("flush wrote %d entries, want 2", n)
+	}
+	for i := 0; i < 4; i++ {
+		blob, err := os.ReadFile(filepath.Join(dir, testKey(i).String()+".mce"))
+		if err != nil {
+			t.Fatalf("entry %d missing after flush: %v", i, err)
+		}
+		payload, err := unframe(blob)
+		if err != nil || string(payload) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("entry %d corrupt after flush: %q, %v", i, payload, err)
+		}
+	}
+
+	mem := newMem(t, 1<<20)
+	mem.Put(testKey(9), []byte("x"))
+	if n := mem.Flush(); n != 0 {
+		t.Fatalf("flush without disk tier wrote %d, want 0", n)
+	}
+}

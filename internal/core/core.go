@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"marion/internal/driver"
 	"marion/internal/faults"
 	"marion/internal/ilgen"
+	"marion/internal/iltext"
 	"marion/internal/ir"
 	"marion/internal/mach"
 	"marion/internal/maril"
@@ -43,6 +45,17 @@ func Targets() []string { return targets.Names() }
 
 // CodeGenerator is a constructed code generator: machine tables derived
 // from a description plus a strategy.
+//
+// A CodeGenerator is safe for concurrent use: once its fields are set,
+// any number of goroutines may call Compile, CompileIL, CompileModule
+// and their Ctx variants on the same generator. The shared state is all
+// either immutable after construction (Machine is finalized once and
+// never written by compilation; the configuration fields are read-only
+// during a compile) or internally synchronized (Cache and the metrics
+// registry are lock-striped/atomic). Each compilation builds its own
+// module, program and statistics, and the per-function worker pool is
+// per-call. The one rule: do not mutate the exported fields while
+// compiles are in flight — reconfigure by building a new generator.
 type CodeGenerator struct {
 	Machine  *mach.Machine
 	Strategy Strategy
@@ -104,6 +117,14 @@ type Result struct {
 
 // Compile compiles C-subset source text.
 func (g *CodeGenerator) Compile(filename, source string) (*Result, error) {
+	return g.CompileCtx(context.Background(), filename, source)
+}
+
+// CompileCtx is Compile with cancellation: the context propagates
+// through the pipeline into the scheduler and allocator cycle loops, so
+// an HTTP request deadline (or any caller cancellation) interrupts the
+// back end instead of hanging behind it.
+func (g *CodeGenerator) CompileCtx(ctx context.Context, filename, source string) (*Result, error) {
 	file, err := cc.Compile(filename, source)
 	if err != nil {
 		return nil, err
@@ -112,12 +133,32 @@ func (g *CodeGenerator) Compile(filename, source string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return g.CompileModule(mod)
+	return g.CompileModuleCtx(ctx, mod)
+}
+
+// CompileIL compiles textual IL (see internal/iltext), bypassing the C
+// front end — the direct route for other front ends.
+func (g *CodeGenerator) CompileIL(filename, source string) (*Result, error) {
+	return g.CompileILCtx(context.Background(), filename, source)
+}
+
+// CompileILCtx is CompileIL with cancellation.
+func (g *CodeGenerator) CompileILCtx(ctx context.Context, filename, source string) (*Result, error) {
+	mod, err := iltext.Parse(filename, source)
+	if err != nil {
+		return nil, err
+	}
+	return g.CompileModuleCtx(ctx, mod)
 }
 
 // CompileModule compiles an already-lowered IL module.
 func (g *CodeGenerator) CompileModule(mod *ir.Module) (*Result, error) {
-	c, err := driver.CompileModule(g.Machine, mod, driver.Config{
+	return g.CompileModuleCtx(context.Background(), mod)
+}
+
+// CompileModuleCtx is CompileModule with cancellation.
+func (g *CodeGenerator) CompileModuleCtx(ctx context.Context, mod *ir.Module) (*Result, error) {
+	c, err := driver.CompileModuleCtx(ctx, g.Machine, mod, driver.Config{
 		Strategy: g.Strategy, Options: g.Options, Workers: g.Workers,
 		Verify: g.Verify, Budget: g.Budget, Strict: g.Strict, Faults: g.Faults,
 		Cache: g.Cache,

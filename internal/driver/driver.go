@@ -19,6 +19,7 @@ import (
 	"marion/internal/cc"
 	"marion/internal/faults"
 	"marion/internal/ilgen"
+	"marion/internal/iltext"
 	"marion/internal/ir"
 	"marion/internal/mach"
 	"marion/internal/pipeline"
@@ -92,19 +93,52 @@ type Compiled struct {
 
 // Compile compiles a C translation unit for the configured target.
 func Compile(name, src string, cfg Config) (*Compiled, error) {
+	return CompileCtx(context.Background(), name, src, cfg)
+}
+
+// CompileCtx is Compile with cancellation: the context reaches the
+// scheduler and allocator cycle loops through the pipeline, so a
+// cancelled caller (an HTTP request, a deadline) stops the back end
+// instead of waiting for it.
+func CompileCtx(ctx context.Context, name, src string, cfg Config) (*Compiled, error) {
 	m, err := targets.Load(cfg.Target)
 	if err != nil {
 		return nil, err
 	}
+	mod, err := Frontend(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileModuleCtx(ctx, m, mod, cfg)
+}
+
+// CompileIL compiles textual IL (see internal/iltext) for the
+// configured target, bypassing the C front end.
+func CompileIL(name, src string, cfg Config) (*Compiled, error) {
+	return CompileILCtx(context.Background(), name, src, cfg)
+}
+
+// CompileILCtx is CompileIL with cancellation.
+func CompileILCtx(ctx context.Context, name, src string, cfg Config) (*Compiled, error) {
+	m, err := targets.Load(cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := iltext.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileModuleCtx(ctx, m, mod, cfg)
+}
+
+// Frontend runs the C front end alone: source text to a lowered IL
+// module, ready for CompileModule (or iltext.Print).
+func Frontend(name, src string) (*ir.Module, error) {
 	file, err := cc.Compile(name, src)
 	if err != nil {
 		return nil, err
 	}
-	mod, err := ilgen.Lower(file)
-	if err != nil {
-		return nil, err
-	}
-	return CompileModule(m, mod, cfg)
+	return ilgen.Lower(file)
 }
 
 // CompileModule runs the back end on an already-lowered module.

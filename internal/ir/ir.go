@@ -381,6 +381,12 @@ func (f *Func) NewBlock() *Block {
 // Entry returns the function's entry block.
 func (f *Func) Entry() *Block { return f.Blocks[0] }
 
+// SetNextBlockID sets the ID the next NewBlock call will allocate.
+// Reconstruction paths (the textual IL parser) use it to restore the
+// counter after rebuilding a block list whose IDs are sparse because
+// unreachable blocks were pruned.
+func (f *Func) SetNextBlockID(n int) { f.nextBlock = n }
+
 // Clone returns a deep copy of the function: fresh blocks and fresh
 // expression nodes, with DAG sharing preserved (a node shared between
 // statements is cloned once) and branch targets remapped to the cloned

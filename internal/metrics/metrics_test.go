@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -74,6 +75,105 @@ func TestSnapshotAndExpvar(t *testing.T) {
 	r.PublishExpvar("marion-test-metrics") // second publish must not panic
 	if expvar.Get("marion-test-metrics") == nil {
 		t.Fatal("expvar not published")
+	}
+}
+
+// TestExpvarRoundTrip reads the registry back through the expvar
+// interface — the same path mariond's /debug/vars serves — and checks
+// the exported JSON tracks live instrument updates.
+func TestExpvarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served").Add(2)
+	r.Histogram("lat", []float64{1, 10}).Observe(0.5)
+	r.PublishExpvar("marion-test-roundtrip")
+
+	v := expvar.Get("marion-test-roundtrip")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatalf("expvar output is not snapshot JSON: %v", err)
+	}
+	if s.Counters["served"] != 2 {
+		t.Fatalf("served = %d, want 2", s.Counters["served"])
+	}
+	if h := s.Histograms["lat"]; h.Count != 1 || len(h.Counts) != 3 {
+		t.Fatalf("lat = %+v", h)
+	}
+
+	// The export is live, not a publish-time copy.
+	r.Counter("served").Add(3)
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["served"] != 5 {
+		t.Fatalf("after update served = %d, want 5", s.Counters["served"])
+	}
+}
+
+// TestHistogramSnapshotConcurrent snapshots a histogram while writers
+// hammer it: every snapshot must be internally sane (counts bounded by
+// the total, never negative) and the final one exact.
+func TestHistogramSnapshotConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", []float64{1, 10, 100})
+	const writers = 8
+	const perWriter = 5000
+	vals := []float64{0.5, 5, 50, 500}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(vals[(w+i)%len(vals)])
+			}
+		}(w)
+	}
+	var snapErr error
+	go func() {
+		defer close(stop)
+		total := int64(writers * perWriter)
+		for i := 0; i < 1000; i++ {
+			s := h.Snapshot()
+			var bucketSum int64
+			for _, c := range s.Counts {
+				if c < 0 || c > total {
+					snapErr = fmt.Errorf("bucket count %d out of range", c)
+					return
+				}
+				bucketSum += c
+			}
+			if s.Count < 0 || s.Count > total || bucketSum > total {
+				snapErr = fmt.Errorf("snapshot out of range: count %d, buckets %d", s.Count, bucketSum)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-stop
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+
+	s := h.Snapshot()
+	total := int64(writers * perWriter)
+	var bucketSum int64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if s.Count != total || bucketSum != total {
+		t.Fatalf("final snapshot: count %d, bucket sum %d, want %d", s.Count, bucketSum, total)
+	}
+	// Each value lands one observation per writer pass; the split is
+	// exactly even across the four buckets.
+	for i, c := range s.Counts {
+		if c != total/int64(len(vals)) {
+			t.Fatalf("bucket %d = %d, want %d", i, c, total/int64(len(vals)))
+		}
 	}
 }
 

@@ -1,0 +1,114 @@
+// JSON wire types for the mariond compile service.
+package server
+
+import (
+	"marion/internal/cache"
+	"marion/internal/strategy"
+)
+
+// DeadlineHeader is the request header carrying the client's compile
+// deadline in milliseconds. It is clamped to Config.MaxDeadline; absent
+// or invalid, Config.DefaultDeadline applies.
+const DeadlineHeader = "X-Marion-Deadline-Ms"
+
+// CompileRequest is the body of POST /compile.
+type CompileRequest struct {
+	// Source is the program text: C subset (default) or textual IL
+	// (internal/iltext), selected by Lang.
+	Source string `json:"source"`
+	// Lang is "c" (default) or "il".
+	Lang string `json:"lang,omitempty"`
+	// Filename names the translation unit in diagnostics and in the
+	// emitted module header; defaults to "input.c" / "input.il".
+	Filename string `json:"filename,omitempty"`
+	// Target is a shipped machine description name; required.
+	Target string `json:"target"`
+	// Strategy is a code generation strategy name; default "postpass".
+	Strategy string `json:"strategy,omitempty"`
+	// Options tune the compile; zero values mean server defaults.
+	Options *CompileOptions `json:"options,omitempty"`
+}
+
+// CompileOptions are the per-request knobs a client may set.
+type CompileOptions struct {
+	// Workers bounds the per-function back end pool for this request
+	// (default: the server's per-request worker count). Output is
+	// byte-identical for any value.
+	Workers int `json:"workers,omitempty"`
+	// Verify runs the machine-description-driven verifier; findings are
+	// returned (they do not fail the request).
+	Verify bool `json:"verify,omitempty"`
+	// Strict disables the graceful-degradation ladder.
+	Strict bool `json:"strict,omitempty"`
+	// BudgetMs is the per-function compilation budget in milliseconds
+	// (default: the server's). The request deadline still applies on
+	// top: whichever expires first interrupts the function.
+	BudgetMs int64 `json:"budget_ms,omitempty"`
+	// LinearSelect forces the unindexed selection reference path.
+	LinearSelect bool `json:"linear_select,omitempty"`
+}
+
+// CompileResponse is the body of a successful POST /compile.
+type CompileResponse struct {
+	Target   string `json:"target"`
+	Strategy string `json:"strategy"`
+	// Assembly is the emitted program, byte-identical to what marionc
+	// prints for the same (source, target, strategy, options).
+	Assembly string `json:"assembly"`
+	// Stats maps function name to its back end statistics.
+	Stats map[string]*strategy.Stats `json:"stats,omitempty"`
+	// Degradations lists functions emitted by a fallback rung of the
+	// degradation ladder (each re-verified clean before acceptance).
+	Degradations []string `json:"degradations,omitempty"`
+	// VerifyFindings lists verifier findings when Options.Verify was
+	// set (empty means the code proved clean).
+	VerifyFindings []string `json:"verify_findings,omitempty"`
+	// PhaseSeconds sums back end wall time per pipeline phase across
+	// the module's functions (accepted attempts only).
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+	// RetrySeconds is the wall time failed ladder rungs burned.
+	RetrySeconds float64 `json:"retry_seconds,omitempty"`
+	// QueueMs is how long the request waited for an admission slot.
+	QueueMs float64 `json:"queue_ms"`
+	// ElapsedMs is the total server-side time, admission included.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// Diag is one structured per-function failure.
+type Diag struct {
+	Func  string `json:"func"`
+	Phase string `json:"phase"`
+	Error string `json:"error"`
+}
+
+// ErrorResponse is the body of any non-2xx /compile answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Diagnostics carries per-function failures (compile errors, budget
+	// exhaustion, deadline expiry) when the back end produced them.
+	Diagnostics []Diag `json:"diagnostics,omitempty"`
+}
+
+// Statz is the body of GET /statz: a point-in-time view of the
+// daemon's load, cache and instrument state.
+type Statz struct {
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Targets       []string `json:"targets"`
+	Draining      bool     `json:"draining"`
+
+	// Inflight counts requests holding an admission slot; Queued counts
+	// requests waiting for one. Capacity and QueueLimit are the
+	// admission bounds.
+	Inflight   int `json:"inflight"`
+	Queued     int `json:"queued"`
+	Capacity   int `json:"capacity"`
+	QueueLimit int `json:"queue_limit"`
+
+	Requests int64 `json:"requests"`
+	Accepted int64 `json:"accepted"`
+	Shed     int64 `json:"shed"`
+	Expired  int64 `json:"expired"`
+	Failed   int64 `json:"failed"`
+
+	Cache cache.Stats `json:"cache"`
+}

@@ -1,0 +1,466 @@
+// Package server is mariond's HTTP front door: Marion's code generator
+// behind a network API, built only on net/http.
+//
+// One Server owns one finalized mach.Machine per shipped target (loaded
+// and fingerprinted once, then shared read-only by every request) and
+// one content-addressed cache.Cache shared across all requests — a hit
+// produced by any client serves every later client asking for the same
+// (canonical IR, machine, config) triple.
+//
+// Admission control is a bounded semaphore (Config.MaxInflight compile
+// slots) plus a bounded wait queue (Config.MaxQueue): a request beyond
+// both is shed immediately with 429 and a Retry-After header, so load
+// beyond capacity degrades to fast rejections instead of unbounded
+// queueing. Per-request deadlines (the X-Marion-Deadline-Ms header, or
+// Config.DefaultDeadline) propagate through context.Context into the
+// pipeline's budget/degradation machinery: an expired request returns
+// structured per-function diagnostics, never a hung connection.
+//
+// Graceful drain: BeginDrain flips /readyz to 503 and rejects new
+// compiles; the owner then lets http.Server.Shutdown finish in-flight
+// requests and calls Close, which flushes the cache's disk tier.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"marion/internal/cache"
+	"marion/internal/driver"
+	"marion/internal/iltext"
+	"marion/internal/ir"
+	"marion/internal/mach"
+	"marion/internal/metrics"
+	"marion/internal/pipeline"
+	"marion/internal/strategy"
+	"marion/internal/targets"
+)
+
+// Config tunes a Server. The zero value serves every shipped target
+// with sensible production defaults.
+type Config struct {
+	// Targets lists the machine descriptions to preload; empty means
+	// every shipped target.
+	Targets []string
+	// MaxInflight bounds concurrently compiling requests; <= 0 means
+	// GOMAXPROCS.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for a compile slot; beyond it,
+	// requests are shed with 429. <= 0 means 2*MaxInflight.
+	MaxQueue int
+	// DefaultDeadline applies when a request carries no deadline
+	// header; <= 0 means 30s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps the client-supplied deadline; <= 0 means 2m.
+	MaxDeadline time.Duration
+	// Budget is the default per-function compilation budget (0 = the
+	// request deadline alone bounds each function).
+	Budget time.Duration
+	// Workers is the default per-function worker pool per request;
+	// <= 0 means 1 (cross-request parallelism is the daemon's bread and
+	// butter; within-request parallelism is the client's opt-in).
+	Workers int
+	// MaxSourceBytes bounds the request body; <= 0 means 4 MiB.
+	MaxSourceBytes int64
+	// CacheBytes sizes the shared in-memory cache tier (<= 0: 64 MiB).
+	CacheBytes int64
+	// CacheDir, when non-empty, persists the shared cache on disk.
+	CacheDir string
+	// Registry receives the server's instruments; nil means
+	// metrics.Default().
+	Registry *metrics.Registry
+}
+
+func (c *Config) fill() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxInflight
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 4 << 20
+	}
+	if len(c.Targets) == 0 {
+		c.Targets = targets.Names()
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.Default()
+	}
+}
+
+// Server is the compile service. Create with New; all methods are safe
+// for concurrent use.
+type Server struct {
+	cfg      Config
+	machines map[string]*mach.Machine
+	cache    *cache.Cache
+	mux      *http.ServeMux
+	start    time.Time
+
+	slots    chan struct{} // admission semaphore, cap MaxInflight
+	waiting  atomic.Int64  // requests blocked on slots
+	draining atomic.Bool
+	warn     error // non-fatal setup problems (cache disk tier)
+
+	requests, accepted, shed *metrics.Counter
+	expired, failed          *metrics.Counter
+	compileSec, queueSec     *metrics.Histogram
+}
+
+// New loads and finalizes every configured target exactly once (the
+// per-machine fingerprint is computed at finalize time) and builds the
+// shared cache. A cache disk-tier error disables only the disk tier;
+// it is reported by Warning, not returned.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	s := &Server{
+		cfg:      cfg,
+		machines: make(map[string]*mach.Machine, len(cfg.Targets)),
+		start:    time.Now(),
+		slots:    make(chan struct{}, cfg.MaxInflight),
+
+		requests:   cfg.Registry.Counter("server.requests"),
+		accepted:   cfg.Registry.Counter("server.accepted"),
+		shed:       cfg.Registry.Counter("server.shed"),
+		expired:    cfg.Registry.Counter("server.expired"),
+		failed:     cfg.Registry.Counter("server.failed"),
+		compileSec: cfg.Registry.Histogram("server.compile.seconds", metrics.TimeBuckets),
+		queueSec:   cfg.Registry.Histogram("server.queue.seconds", metrics.TimeBuckets),
+	}
+	for _, t := range cfg.Targets {
+		m, err := targets.Load(t)
+		if err != nil {
+			return nil, err
+		}
+		s.machines[t] = m
+	}
+	ch, warn := cache.New(cache.Options{
+		MaxBytes: cfg.CacheBytes,
+		Dir:      cfg.CacheDir,
+		Registry: cfg.Registry,
+	})
+	s.cache, s.warn = ch, warn
+
+	cfg.Registry.PublishExpvar("marion")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s, nil
+}
+
+// Warning reports non-fatal setup problems (a disabled cache disk
+// tier); nil when setup was clean.
+func (s *Server) Warning() error { return s.warn }
+
+// Handler returns the daemon's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the shared compilation cache (for stats and tests).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Targets returns the names of the machines this server serves.
+func (s *Server) Targets() []string { return s.cfg.Targets }
+
+// BeginDrain stops admitting new compiles: /readyz turns 503 (so load
+// balancers stop routing here) and /compile starts answering 503 with
+// Retry-After. In-flight requests are unaffected; the owner finishes
+// them with http.Server.Shutdown and then calls Close.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close flushes the shared cache's disk tier (entries whose disk write
+// was lost are rewritten) and returns the number of entries flushed.
+// Call after in-flight requests have drained.
+func (s *Server) Close() int { return s.cache.Flush() }
+
+// ---------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprintf(w, "mariond: Marion compile service\n\nPOST /compile   {source, lang, target, strategy, options} -> assembly JSON\nGET  /healthz   liveness\nGET  /readyz    readiness (503 while draining)\nGET  /statz     load, admission and cache statistics\nGET  /debug/vars, /debug/pprof/\n")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	st := Statz{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Targets:       s.cfg.Targets,
+		Draining:      s.draining.Load(),
+		Inflight:      len(s.slots),
+		Queued:        int(s.waiting.Load()),
+		Capacity:      s.cfg.MaxInflight,
+		QueueLimit:    s.cfg.MaxQueue,
+		Requests:      s.requests.Value(),
+		Accepted:      s.accepted.Value(),
+		Shed:          s.shed.Value(),
+		Expired:       s.expired.Value(),
+		Failed:        s.failed.Value(),
+		Cache:         s.cache.Stats(),
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	s.requests.Inc()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, http.StatusMethodNotAllowed, "POST only", nil)
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusServiceUnavailable, "draining", nil)
+		return
+	}
+
+	var req CompileRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: "+err.Error(), nil)
+		return
+	}
+	m, ok := s.machines[req.Target]
+	if !ok {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown target %q (serving %v)", req.Target, s.cfg.Targets), nil)
+		return
+	}
+	stratName := req.Strategy
+	if stratName == "" {
+		stratName = "postpass"
+	}
+	kind, err := strategy.ParseKind(stratName)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+
+	// The request deadline: client header, clamped, or the default. It
+	// propagates through context into the scheduler and allocator loops.
+	deadline := s.cfg.DefaultDeadline
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, perr := strconv.ParseInt(h, 10, 64)
+		if perr != nil || ms <= 0 {
+			s.fail(w, http.StatusBadRequest, "bad "+DeadlineHeader+" header", nil)
+			return
+		}
+		deadline = min(time.Duration(ms)*time.Millisecond, s.cfg.MaxDeadline)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	// Admission: a free slot admits immediately; otherwise wait in the
+	// bounded queue or shed.
+	queued := time.Now()
+	release, status := s.acquire(ctx)
+	s.queueSec.ObserveDuration(time.Since(queued))
+	if status != 0 {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+			s.shed.Inc()
+			s.fail(w, status, "over capacity, retry later", nil)
+		} else {
+			s.expired.Inc()
+			s.fail(w, status, "deadline expired while queued", nil)
+		}
+		return
+	}
+	defer release()
+
+	mod, status, lerr := s.lower(&req)
+	if lerr != nil {
+		s.failed.Inc()
+		s.fail(w, status, lerr.Error(), nil)
+		return
+	}
+
+	opts := req.Options
+	if opts == nil {
+		opts = &CompileOptions{}
+	}
+	dcfg := driver.Config{
+		Strategy:     kind,
+		Workers:      s.cfg.Workers,
+		Verify:       opts.Verify,
+		Strict:       opts.Strict,
+		Budget:       s.cfg.Budget,
+		LinearSelect: opts.LinearSelect,
+		Cache:        s.cache,
+	}
+	if opts.Workers > 0 {
+		dcfg.Workers = opts.Workers
+	}
+	if opts.BudgetMs > 0 {
+		dcfg.Budget = time.Duration(opts.BudgetMs) * time.Millisecond
+	}
+
+	res, cerr := driver.CompileModuleCtx(ctx, m, mod, dcfg)
+	if cerr != nil {
+		diags := toDiags(cerr)
+		if ctx.Err() != nil {
+			// The request deadline (or a gone client) interrupted the
+			// back end: the structured per-function diagnostics say
+			// exactly which functions were cut off where.
+			s.expired.Inc()
+			s.fail(w, http.StatusGatewayTimeout, "deadline exceeded: "+ctx.Err().Error(), diags)
+			return
+		}
+		s.failed.Inc()
+		s.fail(w, http.StatusUnprocessableEntity, "compile failed", diags)
+		return
+	}
+
+	s.accepted.Inc()
+	elapsed := time.Since(started)
+	s.compileSec.ObserveDuration(elapsed)
+	resp := &CompileResponse{
+		Target:       req.Target,
+		Strategy:     kind.String(),
+		Assembly:     res.Prog.Print(),
+		Stats:        res.Stats,
+		RetrySeconds: res.RetryTime.Seconds(),
+		QueueMs:      float64(time.Since(queued).Milliseconds()),
+		ElapsedMs:    float64(elapsed) / float64(time.Millisecond),
+	}
+	for _, d := range res.Degradations {
+		resp.Degradations = append(resp.Degradations, d.String())
+	}
+	if res.Verify != nil {
+		for _, f := range res.Verify.Findings {
+			resp.VerifyFindings = append(resp.VerifyFindings, f.String())
+		}
+	}
+	if len(res.PhaseTimes) > 0 {
+		resp.PhaseSeconds = make(map[string]float64, len(res.PhaseTimes))
+		for ph, d := range res.PhaseTimes {
+			resp.PhaseSeconds[ph] = d.Seconds()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// acquire takes an admission slot. It returns a release func and 0 on
+// success, or a non-zero HTTP status: 429 when the wait queue is full,
+// 504 when the request deadline expired while queued.
+func (s *Server) acquire(ctx context.Context) (func(), int) {
+	select {
+	case s.slots <- struct{}{}:
+		return s.release, 0
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		return nil, http.StatusTooManyRequests
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return s.release, 0
+	case <-ctx.Done():
+		return nil, http.StatusGatewayTimeout
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// lower turns request source into an IL module per the request
+// language.
+func (s *Server) lower(req *CompileRequest) (*ir.Module, int, error) {
+	name := req.Filename
+	switch req.Lang {
+	case "", "c":
+		if name == "" {
+			name = "input.c"
+		}
+		mod, err := driver.Frontend(name, req.Source)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		return mod, 0, nil
+	case "il":
+		if name == "" {
+			name = "input.il"
+		}
+		mod, err := iltext.Parse(name, req.Source)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		return mod, 0, nil
+	}
+	return nil, http.StatusBadRequest, fmt.Errorf("unknown lang %q (want \"c\" or \"il\")", req.Lang)
+}
+
+// toDiags flattens a back end error into wire diagnostics.
+func toDiags(err error) []Diag {
+	var diags *pipeline.Diagnostics
+	if !errors.As(err, &diags) {
+		return nil
+	}
+	all := diags.All()
+	out := make([]Diag, len(all))
+	for i, d := range all {
+		out[i] = Diag{Func: d.Func, Phase: d.Phase, Error: d.Err.Error()}
+	}
+	return out
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, msg string, diags []Diag) {
+	writeJSON(w, status, &ErrorResponse{Error: msg, Diagnostics: diags})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

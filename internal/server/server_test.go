@@ -1,0 +1,348 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"marion/internal/driver"
+	"marion/internal/metrics"
+	"marion/internal/strategy"
+)
+
+const addC = `
+int add3(int a, int b) {
+	return a + b * 3;
+}
+`
+
+const handIL = `
+module hand.il
+func addmul ret int
+reg t0 int "a"
+reg t1 int "b"
+reg t2 int
+param a int size 4 offset 0 reg t0
+param b int size 4 offset 0 reg t1
+frame 0
+block L0 depth 0
+(asgn int t2 (add int (reg int t0) (mul int (reg int t1) (const int 3))))
+(ret int (reg int t2))
+`
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	if len(cfg.Targets) == 0 {
+		cfg.Targets = []string{"r2000", "m88000"}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Warning() != nil {
+		t.Fatalf("setup warning: %v", s.Warning())
+	}
+	return s
+}
+
+func post(t *testing.T, s *Server, req CompileRequest, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return postRaw(s, body, hdr)
+}
+
+func postRaw(s *Server, body []byte, hdr map[string]string) *httptest.ResponseRecorder {
+	r := httptest.NewRequest(http.MethodPost, "/compile", bytes.NewReader(body))
+	for k, v := range hdr {
+		r.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	return w
+}
+
+func decode[T any](t *testing.T, w *httptest.ResponseRecorder) *T {
+	t.Helper()
+	v := new(T)
+	if err := json.Unmarshal(w.Body.Bytes(), v); err != nil {
+		t.Fatalf("bad JSON body (%d): %v\n%s", w.Code, err, w.Body.String())
+	}
+	return v
+}
+
+// TestCompileMatchesDriver requires the served assembly to be
+// byte-identical to an in-process driver compile of the same unit —
+// the same guarantee the loadsmoke script checks against marionc.
+func TestCompileMatchesDriver(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, target := range []string{"r2000", "m88000"} {
+		w := post(t, s, CompileRequest{Source: addC, Filename: "add.c", Target: target, Strategy: "postpass"}, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", target, w.Code, w.Body.String())
+		}
+		resp := decode[CompileResponse](t, w)
+		want, err := driver.Compile("add.c", addC, driver.Config{Target: target, Strategy: strategy.Postpass})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Assembly != want.Prog.Print() {
+			t.Errorf("%s: served assembly differs from driver output", target)
+		}
+		if resp.Stats["add3"] == nil {
+			t.Errorf("%s: missing per-function stats", target)
+		}
+	}
+}
+
+// TestCompileIL drives the textual-IL front door.
+func TestCompileIL(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s, CompileRequest{Source: handIL, Lang: "il", Target: "r2000"}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decode[CompileResponse](t, w)
+	if !strings.Contains(resp.Assembly, "addmul") {
+		t.Errorf("assembly missing function label:\n%s", resp.Assembly)
+	}
+}
+
+// TestCacheSharedAcrossRequests: the second identical request must hit
+// the server's shared cache.
+func TestCacheSharedAcrossRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := CompileRequest{Source: addC, Filename: "add.c", Target: "r2000"}
+	a := post(t, s, req, nil)
+	before := s.Cache().Stats().Hits()
+	b := post(t, s, req, nil)
+	if a.Code != 200 || b.Code != 200 {
+		t.Fatalf("status %d/%d", a.Code, b.Code)
+	}
+	if hits := s.Cache().Stats().Hits(); hits <= before {
+		t.Errorf("second request did not hit the shared cache (hits %d -> %d)", before, hits)
+	}
+	if a.Body.String() != b.Body.String() {
+		// QueueMs/ElapsedMs vary; compare the assembly instead.
+		ra, rb := decode[CompileResponse](t, a), decode[CompileResponse](t, b)
+		if ra.Assembly != rb.Assembly {
+			t.Error("cache hit produced different assembly")
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+		hdr  map[string]string
+		want int
+	}{
+		{"bad json", "{", nil, http.StatusBadRequest},
+		{"unknown target", `{"source":"int f(){return 0;}","target":"vax"}`, nil, http.StatusBadRequest},
+		{"unknown strategy", `{"source":"int f(){return 0;}","target":"r2000","strategy":"magic"}`, nil, http.StatusBadRequest},
+		{"unknown lang", `{"source":"x","lang":"fortran","target":"r2000"}`, nil, http.StatusBadRequest},
+		{"c syntax error", `{"source":"int f( {","target":"r2000"}`, nil, http.StatusBadRequest},
+		{"il syntax error", `{"source":"(bogus)","lang":"il","target":"r2000"}`, nil, http.StatusBadRequest},
+		{"bad deadline header", `{"source":"int f(){return 0;}","target":"r2000"}`,
+			map[string]string{DeadlineHeader: "soon"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		w := postRaw(s, []byte(c.body), c.hdr)
+		if w.Code != c.want {
+			t.Errorf("%s: status %d, want %d: %s", c.name, w.Code, c.want, w.Body.String())
+		}
+		resp := decode[ErrorResponse](t, w)
+		if resp.Error == "" {
+			t.Errorf("%s: empty error message", c.name)
+		}
+	}
+
+	r := httptest.NewRequest(http.MethodGet, "/compile", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /compile: status %d, want 405", w.Code)
+	}
+}
+
+// TestAdmissionShed fills the only compile slot and the whole wait
+// queue, then requires the next request to be shed with 429 and a
+// Retry-After header — deterministically, no timing involved.
+func TestAdmissionShed(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 1})
+	s.slots <- struct{}{} // occupy the only slot
+
+	req := CompileRequest{Source: addC, Target: "r2000"}
+	queued := make(chan *httptest.ResponseRecorder)
+	go func() { queued <- post(t, s, req, nil) }()
+	waitFor(t, func() bool { return s.waiting.Load() == 1 })
+
+	w := post(t, s, req, nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-queue request: status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	<-s.slots // free the slot; the queued request proceeds
+	if w := <-queued; w.Code != http.StatusOK {
+		t.Fatalf("queued request: status %d, want 200: %s", w.Code, w.Body.String())
+	}
+	if got := s.shed.Value(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+}
+
+// TestQueuedDeadline parks a request in the wait queue past its
+// deadline and requires a structured 504, not a hang.
+func TestQueuedDeadline(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 4})
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+
+	w := post(t, s, CompileRequest{Source: addC, Target: "r2000"},
+		map[string]string{DeadlineHeader: "30"})
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", w.Code, w.Body.String())
+	}
+	if resp := decode[ErrorResponse](t, w); !strings.Contains(resp.Error, "queued") {
+		t.Errorf("error %q does not mention queueing", resp.Error)
+	}
+}
+
+// TestCompileDeadline cancels the request context under the compiler
+// and requires structured per-function diagnostics in a 504 body.
+func TestCompileDeadline(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body, _ := json.Marshal(CompileRequest{Source: addC, Target: "r2000"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // client gone before the back end starts
+	r := httptest.NewRequest(http.MethodPost, "/compile", bytes.NewReader(body)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", w.Code, w.Body.String())
+	}
+	resp := decode[ErrorResponse](t, w)
+	if len(resp.Diagnostics) == 0 {
+		t.Fatalf("504 without structured diagnostics: %s", w.Body.String())
+	}
+	if d := resp.Diagnostics[0]; d.Phase == "" || d.Error == "" {
+		t.Errorf("diagnostic missing phase/error: %+v", d)
+	}
+}
+
+// TestDrain: an already-admitted request finishes during drain; new
+// requests are rejected 503; readyz flips; Close flushes the disk tier.
+func TestDrain(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 4, CacheDir: dir})
+	req := CompileRequest{Source: addC, Filename: "add.c", Target: "r2000"}
+
+	s.slots <- struct{}{} // make the next request queue after admission
+	inflight := make(chan *httptest.ResponseRecorder)
+	go func() { inflight <- post(t, s, req, nil) }()
+	waitFor(t, func() bool { return s.waiting.Load() == 1 })
+
+	s.BeginDrain()
+
+	if w := post(t, s, req, nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("compile while draining: status %d, want 503", w.Code)
+	} else if w.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+	if w := get(s, "/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: status %d, want 503", w.Code)
+	}
+	if w := get(s, "/healthz"); w.Code != http.StatusOK {
+		t.Errorf("healthz while draining: status %d, want 200", w.Code)
+	}
+
+	<-s.slots // the admitted request now runs to completion
+	if w := <-inflight; w.Code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d, want 200: %s", w.Code, w.Body.String())
+	}
+
+	// Lose the disk tier, then Close: the flush must restore it.
+	files, err := filepath.Glob(filepath.Join(dir, "*.mce"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no disk-tier entries before drain (err %v)", err)
+	}
+	for _, f := range files {
+		os.Remove(f)
+	}
+	if n := s.Close(); n == 0 {
+		t.Error("Close flushed nothing after disk tier was lost")
+	}
+	if files, _ = filepath.Glob(filepath.Join(dir, "*.mce")); len(files) == 0 {
+		t.Error("disk tier still empty after Close")
+	}
+}
+
+func TestStatzAndAux(t *testing.T) {
+	s := newTestServer(t, Config{})
+	post(t, s, CompileRequest{Source: addC, Target: "r2000"}, nil)
+
+	w := get(s, "/statz")
+	if w.Code != http.StatusOK {
+		t.Fatalf("statz: status %d", w.Code)
+	}
+	st := decode[Statz](t, w)
+	if st.Requests < 1 || st.Accepted < 1 {
+		t.Errorf("statz counters not advancing: %+v", st)
+	}
+	if st.Capacity <= 0 || len(st.Targets) == 0 {
+		t.Errorf("statz missing config echo: %+v", st)
+	}
+	if st.Cache.Stores < 1 {
+		t.Errorf("statz cache stats not wired: %+v", st.Cache)
+	}
+
+	if w := get(s, "/readyz"); w.Code != http.StatusOK {
+		t.Errorf("readyz: status %d", w.Code)
+	}
+	if w := get(s, "/debug/vars"); w.Code != http.StatusOK {
+		t.Errorf("expvar: status %d", w.Code)
+	} else if !strings.Contains(w.Body.String(), "cmdline") {
+		t.Errorf("expvar body missing standard vars")
+	}
+	if w := get(s, "/debug/pprof/cmdline"); w.Code != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d", w.Code)
+	}
+	if w := get(s, "/nosuch"); w.Code != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", w.Code)
+	}
+}
+
+func get(s *Server, path string) *httptest.ResponseRecorder {
+	r := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	return w
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,85 @@
+#!/bin/sh
+# loadsmoke: end-to-end smoke for the compile service.
+#
+# Boots mariond (race-instrumented) on an ephemeral port with a tiny
+# admission budget, then proves, in order:
+#   1. a concurrent burst splits cleanly into 2xx and 429 (something
+#      was shed, nothing failed, repeat bodies are byte-identical);
+#   2. served assembly is byte-identical to marionc for every example
+#      source;
+#   3. SIGTERM drains gracefully: exit 0 and a flushed disk cache tier.
+#
+# Artifacts: BENCH_serve.json (throughput, latency quantiles, shed and
+# cache hit rates) in the repo root.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "loadsmoke: building (mariond with -race)"
+$GO build -race -o "$tmp/mariond" ./cmd/mariond
+$GO build -o "$tmp/marionload" ./cmd/marionload
+$GO build -o "$tmp/marionc" ./cmd/marionc
+
+"$tmp/mariond" -addr 127.0.0.1:0 -addrfile "$tmp/addr" \
+    -admit 2 -queue 2 -cachedir "$tmp/cache" \
+    >"$tmp/mariond.log" 2>&1 &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ] || ! kill -0 "$pid" 2>/dev/null; then
+        echo "loadsmoke: FAIL: mariond never came up" >&2
+        cat "$tmp/mariond.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(head -n 1 "$tmp/addr")
+echo "loadsmoke: mariond up at $addr"
+
+# 1. Concurrent burst against a 2-slot/2-queue server: must shed, must
+#    never answer anything but 2xx/429, and repeated keys must return
+#    byte-identical assembly.
+"$tmp/marionload" -addr "$addr" -n 120 -c 24 \
+    -check -require-shed -json BENCH_serve.json
+
+# 2. Accepted requests are byte-identical to marionc.
+for f in examples/c/*.c; do
+    "$tmp/marionc" -target r2000 -strategy postpass "$f" >"$tmp/want.s"
+    "$tmp/marionload" -addr "$addr" -one "$f" \
+        -target r2000 -strategy postpass >"$tmp/got.s"
+    if ! cmp -s "$tmp/want.s" "$tmp/got.s"; then
+        echo "loadsmoke: FAIL: served output differs from marionc for $f" >&2
+        exit 1
+    fi
+done
+echo "loadsmoke: served output byte-identical to marionc for all examples"
+
+# 3. Graceful drain: SIGTERM, exit 0, disk tier flushed.
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=
+if [ "$status" -ne 0 ]; then
+    echo "loadsmoke: FAIL: drain exited $status" >&2
+    cat "$tmp/mariond.log" >&2
+    exit 1
+fi
+if ! grep -q "drained" "$tmp/mariond.log"; then
+    echo "loadsmoke: FAIL: no drain line in daemon log" >&2
+    cat "$tmp/mariond.log" >&2
+    exit 1
+fi
+if [ -z "$(find "$tmp/cache" -name '*.mce' 2>/dev/null | head -n 1)" ]; then
+    echo "loadsmoke: FAIL: disk cache tier empty after drain" >&2
+    exit 1
+fi
+echo "loadsmoke: PASS (drain clean, cache tier flushed)"
