@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench benchsmoke cachesmoke loadsmoke verify-all chaos ci
+.PHONY: build test vet race bench benchsmoke cachesmoke loadsmoke brownoutsmoke verify-all chaos ci
 
 TARGETS    := r2000 r2000s m88000 i860 rs6000 toyp
 STRATEGIES := naive postpass ips rase local
@@ -63,6 +63,17 @@ verify-all:
 loadsmoke:
 	GO="$(GO)" sh scripts/loadsmoke.sh
 
+# Overload smoke: boot a race-instrumented mariond with the adaptive
+# limiter, brownout ladder, and circuit breakers armed (plus a
+# deterministic serve-site fault against r2000/rase), trip a breaker
+# and require rerouting plus a replayable quarantine bundle, burst 4x
+# past capacity with mixed deadlines and require brownout engagement,
+# a clean shed (no 5xx storm), and full recovery to pressure level 0;
+# post-recovery output must again be byte-identical to marionc. Emits
+# BENCH_brownout.json.
+brownoutsmoke:
+	GO="$(GO)" sh scripts/brownoutsmoke.sh
+
 # Chaos sweep: arm every fault-injection site x mode (panic, err, hang)
 # on every target under every strategy and prove the process never
 # dies — each faulted function walks the degradation ladder and the
@@ -71,4 +82,4 @@ loadsmoke:
 chaos:
 	$(GO) run ./cmd/marionstats -faultmatrix
 
-ci: build vet test race benchsmoke cachesmoke loadsmoke verify-all chaos
+ci: build vet test race benchsmoke cachesmoke loadsmoke brownoutsmoke verify-all chaos

@@ -11,6 +11,7 @@
 //	marionc -target r2000 -timeout 2s file.c
 //	marionc -target r2000 -strict -timeout 2s file.c
 //	marionc -target r2000 -faults 'select:panic@fn=3' file.c
+//	marionc -replay /var/quarantine/r2000-rase-1
 //
 // -workers bounds the parallel per-function back end (default
 // GOMAXPROCS); the emitted assembly is identical for any worker count.
@@ -39,6 +40,13 @@
 // share them. With -stats, cache hit/miss counts print to stderr.
 // An armed -faults spec disables the cache for that run.
 //
+// -replay takes a quarantine bundle directory written by mariond when
+// a circuit breaker trips (internal/overload): the bundle's IL is
+// compiled under the bundle's recorded target, strategy, and options,
+// reproducing the failing request offline. Combine with -faults to
+// re-arm the injection that tripped it, or -strategy/-target to
+// override the recorded configuration while minimizing.
+//
 // A file ending in .il is read as textual IL (internal/iltext) and
 // skips the C front end; -emit-il stops after the front end and prints
 // the module as textual IL instead of compiling it, so the two compose
@@ -56,6 +64,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -66,6 +75,7 @@ import (
 	"marion/internal/faults"
 	"marion/internal/iltext"
 	"marion/internal/ir"
+	"marion/internal/overload"
 	"marion/internal/pipeline"
 	"marion/internal/strategy"
 	"marion/internal/verify"
@@ -102,6 +112,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"on-disk cache directory, shared across runs (implies -cache)")
 	emitIL := fs.Bool("emit-il", false,
 		"stop after the front end and print the module as textual IL (compilable by marionc/mariond)")
+	replay := fs.String("replay", "",
+		"replay a mariond quarantine bundle directory under its recorded configuration")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -111,6 +123,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, t)
 		}
 		return 0
+	}
+	if *replay != "" {
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "usage: marionc -replay <bundle-dir>")
+			return 2
+		}
+		return runReplay(fs, *replay, stdout, stderr)
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: marionc [-target T] [-strategy S] [-verify] file.c")
@@ -195,6 +214,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *doVerify && !res.Verify.Empty() {
+		printFindings(stderr, res.Verify)
+		return 1
+	}
+	return 0
+}
+
+// runReplay compiles a quarantine bundle (internal/overload) under its
+// recorded target, strategy, and options. Flags the user set explicitly
+// override the recording, so a bundle can be minimized interactively.
+func runReplay(fs *flag.FlagSet, dir string, stdout, stderr io.Writer) int {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	str := func(name, recorded string) string {
+		if set[name] {
+			return fs.Lookup(name).Value.String()
+		}
+		return recorded
+	}
+
+	b, il, err := overload.LoadBundle(dir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	kind, err := strategy.ParseKind(str("strategy", b.Strategy))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fset, err := faults.Parse(str("faults", ""))
+	if err != nil {
+		fmt.Fprintln(stderr, "marionc:", err)
+		return 2
+	}
+	cfg := driver.Config{
+		Target:       str("target", b.Target),
+		Strategy:     kind,
+		LinearSelect: b.Options.LinearSelect,
+		Verify:       b.Options.Verify || set["verify"],
+		Workers:      b.Options.Workers,
+		Budget:       time.Duration(b.Options.BudgetMs) * time.Millisecond,
+		Strict:       b.Options.Strict,
+		Faults:       fset,
+	}
+	if set["workers"] {
+		fmt.Sscan(fs.Lookup("workers").Value.String(), &cfg.Workers)
+	}
+	if set["timeout"] {
+		cfg.Budget, _ = time.ParseDuration(fs.Lookup("timeout").Value.String())
+	}
+	if set["strict"] {
+		cfg.Strict = fs.Lookup("strict").Value.String() == "true"
+	}
+
+	fmt.Fprintf(stderr, "marionc: replaying %s: %s/%s after %d failure(s): %s\n",
+		dir, cfg.Target, cfg.Strategy, b.Failures, b.Reason)
+	res, err := driver.CompileIL(filepath.Join(dir, overload.ILFile), il, cfg)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	for _, d := range res.Degradations {
+		fmt.Fprintf(stderr, "marionc: note: %s\n", d.String())
+	}
+	if code := emit(stdout, stderr, str("o", ""), res.Prog.Print()); code != 0 {
+		return code
+	}
+	if cfg.Verify && !res.Verify.Empty() {
 		printFindings(stderr, res.Verify)
 		return 1
 	}

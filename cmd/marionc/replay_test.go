@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"marion/internal/overload"
+)
+
+// buildBundle writes a quarantine bundle the way mariond would: the
+// module as textual IL plus the recorded configuration.
+func buildBundle(t *testing.T, target, strat string) string {
+	t.Helper()
+	file := writeTemp(t, "q.c", robustSrc)
+	var il, errb strings.Builder
+	if code := run([]string{"-emit-il", file}, &il, &errb); code != 0 {
+		t.Fatalf("emit-il exit %d: %s", code, errb.String())
+	}
+	dir := t.TempDir()
+	path, err := overload.WriteBundle(dir, &overload.Bundle{
+		Key:      target + "/" + strat,
+		Target:   target,
+		Strategy: strat,
+		Reason:   "injected panic at select",
+		Failures: 2,
+	}, il.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReplayBundle pins -replay: the bundle compiles under its
+// recorded target and strategy, byte-identical to compiling the same
+// IL directly.
+func TestReplayBundle(t *testing.T) {
+	path := buildBundle(t, "r2000", "rase")
+
+	var got, errb strings.Builder
+	if code := run([]string{"-replay", path}, &got, &errb); code != 0 {
+		t.Fatalf("replay exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "replaying") ||
+		!strings.Contains(errb.String(), "r2000/rase") {
+		t.Errorf("missing replay banner:\n%s", errb.String())
+	}
+
+	ilFile := writeTemp(t, "q.il", mustReadBundleIL(t, path))
+	var want strings.Builder
+	if code := run([]string{"-target", "r2000", "-strategy", "rase", ilFile},
+		&want, &errb); code != 0 {
+		t.Fatalf("direct compile exit %d: %s", code, errb.String())
+	}
+	if got.String() != want.String() {
+		t.Errorf("replay output differs from direct compile:\n--- replay\n%s--- direct\n%s",
+			got.String(), want.String())
+	}
+}
+
+// TestReplayOverrides pins the minimization workflow: explicit flags
+// beat the bundle's recorded configuration.
+func TestReplayOverrides(t *testing.T) {
+	path := buildBundle(t, "r2000", "rase")
+
+	var got, errb strings.Builder
+	if code := run([]string{"-replay", path, "-strategy", "postpass"},
+		&got, &errb); code != 0 {
+		t.Fatalf("replay exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "r2000/postpass") {
+		t.Errorf("override not reflected in banner:\n%s", errb.String())
+	}
+
+	ilFile := writeTemp(t, "q.il", mustReadBundleIL(t, path))
+	var want strings.Builder
+	if code := run([]string{"-target", "r2000", "-strategy", "postpass", ilFile},
+		&want, &errb); code != 0 {
+		t.Fatalf("direct compile exit %d: %s", code, errb.String())
+	}
+	if got.String() != want.String() {
+		t.Error("replay -strategy postpass differs from a direct postpass compile")
+	}
+}
+
+// TestReplayRejectsArgs: -replay takes no positional file.
+func TestReplayRejectsArgs(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-replay", "somewhere", "extra.c"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want usage error 2", code)
+	}
+}
+
+// TestReplayMissingBundle: a bad directory is a compile failure, not a
+// panic.
+func TestReplayMissingBundle(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-replay", t.TempDir()}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+}
+
+func mustReadBundleIL(t *testing.T, path string) string {
+	t.Helper()
+	_, il, err := overload.LoadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return il
+}

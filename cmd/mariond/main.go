@@ -17,11 +17,22 @@
 //
 // Admission control bounds concurrent compiles (-admit) and the wait
 // queue (-queue); beyond both, requests are shed immediately with
-// 429 and Retry-After. Each request runs under a deadline (the
+// 429 and a computed Retry-After. With -slo-ms the admission limit
+// adapts (AIMD) to measured compile latency, and queued requests whose
+// remaining deadline falls below the service estimate are shed before
+// they are doomed. Each request runs under a deadline (the
 // X-Marion-Deadline-Ms header, clamped to -maxdeadline, else
 // -deadline) that propagates into the scheduler and allocator loops:
 // an expired request returns per-function diagnostics, never a hung
 // connection.
+//
+// -brownout arms the hysteretic degradation ladder (verify off ->
+// strategies capped -> safe only -> cache-only) under sustained
+// pressure; -breaker N arms per-(target, strategy) circuit breakers
+// that reroute repeatedly failing combinations down the strategy
+// fallback chain, quarantining a replayable bundle under -quarantine.
+// -faults (or MARION_FAULTS) arms deterministic fault injection at
+// pipeline and serve sites for chaos drills.
 //
 // SIGTERM or SIGINT begins a graceful drain: /readyz flips to 503 and
 // new compiles are rejected, in-flight requests finish (bounded by
@@ -42,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"marion/internal/faults"
 	"marion/internal/server"
 )
 
@@ -71,6 +83,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	targetList := fs.String("targets", "", "comma-separated targets to serve (default: all)")
 	drainTimeout := fs.Duration("draintimeout", 30*time.Second,
 		"how long a drain waits for in-flight requests before closing connections")
+	sloMs := fs.Int64("slo-ms", 0,
+		"compile latency SLO in ms driving the adaptive admission limit (0 = fixed at -admit)")
+	brownout := fs.Bool("brownout", false,
+		"enable the brownout degradation ladder under sustained pressure")
+	breaker := fs.Int("breaker", 0,
+		"consecutive failures tripping a per-(target,strategy) circuit breaker (0 = off)")
+	breakerCooldown := fs.Duration("breakercooldown", time.Second,
+		"how long a tripped breaker stays open before admitting a probe")
+	quarantine := fs.String("quarantine", "",
+		"directory receiving replayable bundles on breaker trips (replay with marionc -replay)")
+	faultSpec := fs.String("faults", os.Getenv("MARION_FAULTS"),
+		"fault injection spec for chaos drills (pipeline sites plus serve); default $MARION_FAULTS")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,16 +102,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "usage: mariond [flags]")
 		return 2
 	}
+	fset, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "mariond:", err)
+		return 2
+	}
 
 	cfg := server.Config{
-		MaxInflight:     *admit,
-		MaxQueue:        *queue,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		Budget:          *budget,
-		Workers:         *workers,
-		CacheBytes:      *cacheMB << 20,
-		CacheDir:        *cacheDir,
+		MaxInflight:      *admit,
+		MaxQueue:         *queue,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		Budget:           *budget,
+		Workers:          *workers,
+		CacheBytes:       *cacheMB << 20,
+		CacheDir:         *cacheDir,
+		SLO:              time.Duration(*sloMs) * time.Millisecond,
+		Brownout:         *brownout,
+		BreakerThreshold: *breaker,
+		BreakerCooldown:  *breakerCooldown,
+		QuarantineDir:    *quarantine,
+		Faults:           fset,
 	}
 	if *targetList != "" {
 		for _, t := range strings.Split(*targetList, ",") {

@@ -4,6 +4,7 @@
 //
 //	marionload -addr 127.0.0.1:8527 -n 200 -c 16
 //	marionload -addr $ADDR -n 400 -c 32 -json BENCH_serve.json
+//	marionload -addr $ADDR -n 300 -c 24 -deadlines 30,5000 -require-brownout
 //	marionload -addr $ADDR -one examples/c/livermore.c -target r2000
 //
 // The default mode fires -n compile requests from -c concurrent
@@ -13,11 +14,21 @@
 // server's cache hit rate (read from /statz). With -json the same
 // numbers are written as a benchmark artifact.
 //
+// Requests go through internal/client, so -retries, -backoff, and
+// -hedge exercise the resilient-client path: shed requests back off
+// per the server's computed Retry-After, and hedged requests race a
+// second attempt against tail latency. -deadlines cycles a mix of
+// per-request deadlines to provoke deadline-aware queue eviction.
+//
 // -check repeats every distinct request key and fails if the server
 // ever answers the same key with different assembly bytes (the cache
 // must be invisible). -require-shed fails the run if the server never
-// shed load — used by the load smoke to prove admission control
-// actually engaged.
+// shed load; -require-brownout and -require-reroute likewise require
+// that the brownout ladder engaged or a circuit breaker rerouted a
+// request. -recover waits after the burst until the server reports
+// pressure level 0 again, failing if it never does. -max-other
+// tolerates a bounded number of non-2xx/429 answers (chaos drills
+// inject real failures).
 //
 // -one sends a single request and prints the returned assembly to
 // stdout, so scripts can byte-compare served output against marionc.
@@ -25,6 +36,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,11 +45,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"marion/internal/client"
 	"marion/internal/server"
 )
 
@@ -53,8 +67,12 @@ type Report struct {
 	Throughput  float64 `json:"throughput_rps"`
 
 	OK    int `json:"ok"`    // 2xx
-	Shed  int `json:"shed"`  // 429
+	Shed  int `json:"shed"`  // 429 as the final answer
 	Other int `json:"other"` // anything else (failures)
+
+	// TransientSheds counts 429s the client retried into an eventual
+	// success — the server shed, even though no request failed for it.
+	TransientSheds int `json:"transient_sheds"`
 
 	P50Ms float64 `json:"p50_ms"`
 	P99Ms float64 `json:"p99_ms"`
@@ -63,6 +81,21 @@ type Report struct {
 	// over lookups at the end of the run (from /statz).
 	ShedRate float64 `json:"shed_rate"`
 	HitRate  float64 `json:"hit_rate"`
+
+	// Client-side resilience counters.
+	Retries int `json:"retries"` // backoff rounds taken across all requests
+	Hedged  int `json:"hedged"`  // requests won by a hedge
+
+	// Overload-behavior counters observed during the run.
+	Degraded    int `json:"degraded"`     // 2xx answers compiled at brownout level > 0
+	BrownoutMax int `json:"brownout_max"` // highest brownout level seen in any answer
+	Rerouted    int `json:"rerouted"`     // answers rerouted by a circuit breaker
+
+	// Server-side state read from /statz after the run (and after
+	// -recover's wait, when set).
+	Evicted            int64 `json:"evicted"`              // doomed requests shed from the queue
+	BreakersOpen       int   `json:"breakers_open"`        // breakers still open at the end
+	FinalPressureLevel int   `json:"final_pressure_level"` // brownout level at the end
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -76,8 +109,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stratList := fs.String("strategies", "postpass", "comma-separated strategies to cycle")
 	srcGlob := fs.String("sources", "", "glob of .c sources to cycle (default: built-in snippets)")
 	deadlineMs := fs.Int("deadline", 0, "per-request deadline header in ms (0 = server default)")
+	deadlines := fs.String("deadlines", "",
+		"comma-separated deadline ms values cycled across requests (overrides -deadline)")
+	retries := fs.Int("retries", 0, "client retries per request on shed/unavailable answers")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "base client backoff between retries")
+	hedge := fs.Duration("hedge", 0, "hedge delay: race a second request after this wait (0 = off)")
 	check := fs.Bool("check", false, "repeat each distinct request and require byte-identical bodies")
 	requireShed := fs.Bool("require-shed", false, "fail unless at least one request was shed (429)")
+	requireBrownout := fs.Bool("require-brownout", false,
+		"fail unless at least one answer was compiled under brownout (level > 0)")
+	requireReroute := fs.Bool("require-reroute", false,
+		"fail unless at least one answer was rerouted by a circuit breaker")
+	recoverWait := fs.Duration("recover", 0,
+		"after the burst, wait up to this long for the server to report pressure level 0")
+	maxOther := fs.Int("max-other", 0, "tolerate up to this many non-2xx/429 answers")
 	one := fs.String("one", "", "send one request for this .c file and print the assembly")
 	oneTarget := fs.String("target", "r2000", "target for -one")
 	oneStrategy := fs.String("strategy", "postpass", "strategy for -one")
@@ -86,8 +131,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	base := "http://" + *addr
 
+	cl := client.New(client.Config{
+		BaseURL:     base,
+		HTTPClient:  &http.Client{Timeout: 5 * time.Minute},
+		MaxRetries:  *retries,
+		BaseBackoff: *backoff,
+		Hedge:       *hedge,
+	})
+
 	if *one != "" {
-		return runOne(base, *one, *oneTarget, *oneStrategy, stdout, stderr)
+		return runOne(cl, *one, *oneTarget, *oneStrategy, stdout, stderr)
+	}
+
+	deadlineList, err := parseDeadlines(*deadlines, *deadlineMs)
+	if err != nil {
+		fmt.Fprintln(stderr, "marionload:", err)
+		return 2
 	}
 
 	srcs, err := loadSources(*srcGlob)
@@ -99,33 +158,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 	strats := splitList(*stratList)
 
 	type job struct {
-		body []byte
-		key  string
+		req      *server.CompileRequest
+		key      string
+		deadline time.Duration
 	}
 	jobs := make([]job, *n)
 	for i := range jobs {
 		src := srcs[i%len(srcs)]
 		target := targets[(i/len(srcs))%len(targets)]
 		strat := strats[(i/len(srcs)/len(targets))%len(strats)]
-		body, _ := json.Marshal(server.CompileRequest{
-			Source:   src.text,
-			Filename: src.name,
-			Target:   target,
-			Strategy: strat,
-		})
-		jobs[i] = job{body: body, key: src.name + "|" + target + "|" + strat}
+		jobs[i] = job{
+			req: &server.CompileRequest{
+				Source:   src.text,
+				Filename: src.name,
+				Target:   target,
+				Strategy: strat,
+			},
+			key:      src.name + "|" + target + "|" + strat,
+			deadline: deadlineList[i%len(deadlineList)],
+		}
 	}
 
 	var (
-		mu        sync.Mutex
-		latencies []float64
-		bodies    = map[string][]byte{} // key -> first OK assembly (-check)
-		ok, shed  atomic.Int64
-		other     atomic.Int64
-		mismatch  atomic.Int64
-		next      atomic.Int64
+		mu          sync.Mutex
+		latencies   []float64
+		bodies      = map[string][]byte{} // key -> first OK assembly (-check)
+		brownoutMax int
+		ok, shed    atomic.Int64
+		other       atomic.Int64
+		mismatch    atomic.Int64
+		retried     atomic.Int64
+		sheds       atomic.Int64
+		hedged      atomic.Int64
+		degraded    atomic.Int64
+		rerouted    atomic.Int64
+		next        atomic.Int64
 	)
-	client := &http.Client{Timeout: 5 * time.Minute}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *c; w++ {
@@ -138,25 +206,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 					return
 				}
 				t0 := time.Now()
-				status, body := post(client, base, jobs[i].body, *deadlineMs, stderr)
+				res, err := cl.Compile(context.Background(), jobs[i].req, jobs[i].deadline)
 				lat := time.Since(t0)
+				if err != nil {
+					fmt.Fprintln(stderr, "marionload:", err)
+					other.Add(1)
+					continue
+				}
+				retried.Add(int64(res.Retries))
+				sheds.Add(int64(res.Sheds))
+				if res.Hedged {
+					hedged.Add(1)
+				}
 				switch {
-				case status >= 200 && status < 300:
+				case res.Status >= 200 && res.Status < 300:
 					ok.Add(1)
+					if res.Resp != nil {
+						if res.Resp.BrownoutLevel > 0 {
+							degraded.Add(1)
+						}
+						if res.Resp.BreakerReroute != "" {
+							rerouted.Add(1)
+						}
+					}
 					mu.Lock()
 					latencies = append(latencies, float64(lat)/float64(time.Millisecond))
-					if *check {
-						var resp server.CompileResponse
-						if json.Unmarshal(body, &resp) == nil {
-							if prev, seen := bodies[jobs[i].key]; !seen {
-								bodies[jobs[i].key] = []byte(resp.Assembly)
-							} else if !bytes.Equal(prev, []byte(resp.Assembly)) {
-								mismatch.Add(1)
-							}
+					if res.Resp != nil && res.Resp.BrownoutLevel > brownoutMax {
+						brownoutMax = res.Resp.BrownoutLevel
+					}
+					if *check && res.Resp != nil {
+						if prev, seen := bodies[jobs[i].key]; !seen {
+							bodies[jobs[i].key] = []byte(res.Resp.Assembly)
+						} else if !bytes.Equal(prev, []byte(res.Resp.Assembly)) {
+							mismatch.Add(1)
 						}
 					}
 					mu.Unlock()
-				case status == http.StatusTooManyRequests:
+				case res.Status == http.StatusTooManyRequests:
 					shed.Add(1)
 				default:
 					other.Add(1)
@@ -168,13 +254,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	elapsed := time.Since(start)
 
 	rep := Report{
-		Requests:    *n,
-		Concurrency: *c,
-		Seconds:     elapsed.Seconds(),
-		OK:          int(ok.Load()),
-		Shed:        int(shed.Load()),
-		Other:       int(other.Load()),
-		ShedRate:    float64(shed.Load()) / float64(*n),
+		Requests:       *n,
+		Concurrency:    *c,
+		Seconds:        elapsed.Seconds(),
+		OK:             int(ok.Load()),
+		Shed:           int(shed.Load()),
+		Other:          int(other.Load()),
+		ShedRate:       float64(shed.Load()) / float64(*n),
+		Retries:        int(retried.Load()),
+		TransientSheds: int(sheds.Load()) - int(shed.Load()),
+		Hedged:         int(hedged.Load()),
+		Degraded:       int(degraded.Load()),
+		BrownoutMax:    brownoutMax,
+		Rerouted:       int(rerouted.Load()),
 	}
 	if rep.Seconds > 0 {
 		rep.Throughput = float64(*n) / rep.Seconds
@@ -182,15 +274,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sort.Float64s(latencies)
 	rep.P50Ms = quantile(latencies, 0.50)
 	rep.P99Ms = quantile(latencies, 0.99)
-	rep.HitRate = fetchHitRate(client, base, stderr)
+
+	recovered := fillStatz(cl, &rep, *recoverWait, stderr)
 
 	fmt.Fprintf(stdout,
 		"marionload: %d requests, %d clients, %.2fs (%.1f rps)\n"+
-			"  2xx %d, 429 %d, other %d (shed rate %.2f)\n"+
-			"  latency p50 %.1fms p99 %.1fms, server cache hit rate %.2f\n",
+			"  2xx %d, 429 %d (+%d transient), other %d (shed rate %.2f), retries %d, hedged %d\n"+
+			"  latency p50 %.1fms p99 %.1fms, server cache hit rate %.2f\n"+
+			"  brownout: %d degraded answers (max level %d), %d rerouted, %d evicted, "+
+			"%d breakers open, final level %d\n",
 		rep.Requests, rep.Concurrency, rep.Seconds, rep.Throughput,
-		rep.OK, rep.Shed, rep.Other, rep.ShedRate,
-		rep.P50Ms, rep.P99Ms, rep.HitRate)
+		rep.OK, rep.Shed, rep.TransientSheds, rep.Other, rep.ShedRate, rep.Retries, rep.Hedged,
+		rep.P50Ms, rep.P99Ms, rep.HitRate,
+		rep.Degraded, rep.BrownoutMax, rep.Rerouted, rep.Evicted,
+		rep.BreakersOpen, rep.FinalPressureLevel)
 
 	if *jsonOut != "" {
 		b, _ := json.MarshalIndent(rep, "", "  ")
@@ -203,12 +300,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "marionload: FAIL: %d non-identical repeat responses\n", mismatch.Load())
 		return 1
 	}
-	if *requireShed && rep.Shed == 0 {
+	if *requireShed && rep.Shed == 0 && rep.TransientSheds == 0 {
 		fmt.Fprintln(stderr, "marionload: FAIL: no request was shed (admission control never engaged)")
 		return 1
 	}
-	if rep.Other > 0 {
-		fmt.Fprintf(stderr, "marionload: FAIL: %d request(s) neither 2xx nor 429\n", rep.Other)
+	if *requireBrownout && rep.Degraded == 0 {
+		fmt.Fprintln(stderr, "marionload: FAIL: no answer was compiled under brownout")
+		return 1
+	}
+	if *requireReroute && rep.Rerouted == 0 {
+		fmt.Fprintln(stderr, "marionload: FAIL: no answer was rerouted by a circuit breaker")
+		return 1
+	}
+	if *recoverWait > 0 && !recovered {
+		fmt.Fprintf(stderr, "marionload: FAIL: pressure level still %d after %v\n",
+			rep.FinalPressureLevel, *recoverWait)
+		return 1
+	}
+	if rep.Other > *maxOther {
+		fmt.Fprintf(stderr, "marionload: FAIL: %d request(s) neither 2xx nor 429 (max %d)\n",
+			rep.Other, *maxOther)
 		return 1
 	}
 	return 0
@@ -216,67 +327,86 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runOne sends a single compile and prints the assembly, for scripts
 // that byte-compare served output against marionc.
-func runOne(base, file, target, strat string, stdout, stderr io.Writer) int {
+func runOne(cl *client.Client, file, target, strat string, stdout, stderr io.Writer) int {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		fmt.Fprintln(stderr, "marionload:", err)
 		return 1
 	}
-	body, _ := json.Marshal(server.CompileRequest{
+	res, err := cl.Compile(context.Background(), &server.CompileRequest{
 		Source: string(src), Filename: file, Target: target, Strategy: strat,
-	})
-	client := &http.Client{Timeout: 5 * time.Minute}
-	status, respBody := post(client, base, body, 0, stderr)
-	if status != http.StatusOK {
-		fmt.Fprintf(stderr, "marionload: status %d: %s\n", status, respBody)
-		return 1
-	}
-	var resp server.CompileResponse
-	if err := json.Unmarshal(respBody, &resp); err != nil {
+	}, 0)
+	if err != nil {
 		fmt.Fprintln(stderr, "marionload:", err)
 		return 1
 	}
-	fmt.Fprint(stdout, resp.Assembly)
+	if res.Status != http.StatusOK || res.Resp == nil {
+		msg := ""
+		if res.ErrBody != nil {
+			msg = res.ErrBody.Error
+		}
+		fmt.Fprintf(stderr, "marionload: status %d: %s\n", res.Status, msg)
+		return 1
+	}
+	fmt.Fprint(stdout, res.Resp.Assembly)
 	return 0
 }
 
-func post(client *http.Client, base string, body []byte, deadlineMs int, stderr io.Writer) (int, []byte) {
-	req, err := http.NewRequest(http.MethodPost, base+"/compile", bytes.NewReader(body))
-	if err != nil {
-		fmt.Fprintln(stderr, "marionload:", err)
-		return 0, nil
+// fillStatz reads the server's end-of-run state into the report. With
+// wait > 0 it polls until the server reports pressure level 0 (full
+// brownout recovery) or the wait expires, and reports which happened.
+func fillStatz(cl *client.Client, rep *Report, wait time.Duration, stderr io.Writer) bool {
+	deadline := time.Now().Add(wait)
+	recovered := false
+	for {
+		st, err := cl.Statz(context.Background())
+		if err != nil {
+			fmt.Fprintln(stderr, "marionload: statz:", err)
+			return false
+		}
+		rep.Evicted = st.Evicted
+		rep.FinalPressureLevel = st.PressureLevel
+		rep.BreakersOpen = 0
+		for _, state := range st.Breakers {
+			if state == "open" {
+				rep.BreakersOpen++
+			}
+		}
+		if lookups := st.Cache.Hits() + st.Cache.Misses; lookups > 0 {
+			rep.HitRate = float64(st.Cache.Hits()) / float64(lookups)
+		}
+		if st.PressureLevel == 0 {
+			recovered = true
+		}
+		if recovered || wait <= 0 || time.Now().After(deadline) {
+			return recovered
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	if deadlineMs > 0 {
-		req.Header.Set(server.DeadlineHeader, fmt.Sprint(deadlineMs))
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		fmt.Fprintln(stderr, "marionload:", err)
-		return 0, nil
-	}
-	defer resp.Body.Close()
-	b, _ := io.ReadAll(resp.Body)
-	return resp.StatusCode, b
 }
 
-// fetchHitRate reads the server's cache stats from /statz.
-func fetchHitRate(client *http.Client, base string, stderr io.Writer) float64 {
-	resp, err := client.Get(base + "/statz")
-	if err != nil {
-		fmt.Fprintln(stderr, "marionload: statz:", err)
-		return 0
+// parseDeadlines builds the per-request deadline cycle: the -deadlines
+// list when given, else the single -deadline value (possibly zero,
+// meaning the server default).
+func parseDeadlines(list string, single int) ([]time.Duration, error) {
+	if list == "" {
+		return []time.Duration{time.Duration(single) * time.Millisecond}, nil
 	}
-	defer resp.Body.Close()
-	var st server.Statz
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return 0
+	var out []time.Duration
+	for _, p := range strings.Split(list, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		ms, err := strconv.Atoi(p)
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("bad -deadlines entry %q", p)
+		}
+		out = append(out, time.Duration(ms)*time.Millisecond)
 	}
-	lookups := st.Cache.Hits() + st.Cache.Misses
-	if lookups == 0 {
-		return 0
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-deadlines given but empty")
 	}
-	return float64(st.Cache.Hits()) / float64(lookups)
+	return out, nil
 }
 
 type source struct{ name, text string }

@@ -1,0 +1,341 @@
+// Package client is the resilient HTTP client for the mariond compile
+// service: retries with exponential backoff and full jitter, honoring
+// the server's computed Retry-After (header and JSON hint), optional
+// hedged requests against tail latency, and context-aware cancellation
+// throughout. cmd/marionload drives its load through this client; any
+// program embedding Marion can use it directly.
+//
+// The retry policy matches the server's shedding contract: 429/503 mean
+// "come back after the hint", 502/504 and transport errors mean "the
+// attempt died, try again", and every other status is returned to the
+// caller untouched — user errors are never retried.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"marion/internal/server"
+)
+
+// Config tunes a Client. The zero value (plus BaseURL) is a plain
+// single-attempt client.
+type Config struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8341".
+	BaseURL string
+	// HTTPClient is the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries is how many times a retryable failure is retried after
+	// the first attempt; 0 disables retries.
+	MaxRetries int
+	// BaseBackoff seeds the exponential backoff (doubled per retry);
+	// <= 0 means 100ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff; <= 0 means 5s.
+	MaxBackoff time.Duration
+	// MaxRetryAfter caps how long a server Retry-After hint is honored
+	// (a hint beyond it waits only this long); <= 0 means 30s.
+	MaxRetryAfter time.Duration
+	// Hedge, when > 0, launches a second identical request if the first
+	// has not answered within this delay; the first response wins and
+	// the loser is cancelled. Use only for idempotent traffic (compiles
+	// are: the cache makes duplicates cheap).
+	Hedge time.Duration
+	// Rand is the jitter source in [0,1); nil means math/rand. Inject
+	// for deterministic tests.
+	Rand func() float64
+}
+
+func (c *Config) fill() {
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.MaxRetryAfter <= 0 {
+		c.MaxRetryAfter = 30 * time.Second
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Float64
+	}
+}
+
+// Client talks to one mariond. Safe for concurrent use.
+type Client struct {
+	cfg Config
+}
+
+// New builds a Client.
+func New(cfg Config) *Client {
+	cfg.fill()
+	return &Client{cfg: cfg}
+}
+
+// Result is one Compile call's outcome, successful or not.
+type Result struct {
+	// Status is the final HTTP status (0 when every attempt died in
+	// transport).
+	Status int
+	// Resp is the decoded success body; nil unless Status is 200.
+	Resp *server.CompileResponse
+	// ErrBody is the decoded error body when the final answer was a
+	// JSON error; nil otherwise.
+	ErrBody *server.ErrorResponse
+	// Attempts counts requests actually sent, hedges included.
+	Attempts int
+	// Retries counts backoff rounds taken.
+	Retries int
+	// Sheds counts 429 answers seen across all attempts, including
+	// retried ones a later attempt turned into a success — the server
+	// shed this request even if the caller never saw it.
+	Sheds int
+	// Hedged reports that the winning response came from a hedge
+	// request rather than the primary.
+	Hedged bool
+}
+
+// Retryable reports whether a status is worth retrying under the
+// server's shedding contract.
+func Retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Compile posts one compile request, retrying per the config. deadline
+// (> 0) is sent as the X-Marion-Deadline-Ms header on every attempt.
+// The returned error is non-nil only when no HTTP answer was obtained
+// at all (transport failure or context cancellation); HTTP-level
+// failures come back as a Result with Status and ErrBody set.
+func (c *Client) Compile(ctx context.Context, req *server.CompileRequest, deadline time.Duration) (*Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, hedged, aerr := c.send(ctx, body, deadline)
+		if resp != nil {
+			res.Attempts++
+			if hedged {
+				res.Attempts++ // the losing primary was also sent
+				res.Hedged = true
+			}
+			res.Status = resp.StatusCode
+			if resp.StatusCode == http.StatusTooManyRequests {
+				res.Sheds++
+			}
+			retryAfter := decodeInto(res, resp)
+			if !Retryable(resp.StatusCode) || attempt >= c.cfg.MaxRetries {
+				return res, nil
+			}
+			if werr := c.sleep(ctx, c.backoff(attempt, retryAfter)); werr != nil {
+				return res, nil // context died mid-backoff; report what we have
+			}
+			res.Retries++
+			continue
+		}
+		res.Attempts++
+		lastErr = aerr
+		if ctx.Err() != nil || attempt >= c.cfg.MaxRetries {
+			return nil, fmt.Errorf("compile: %w", lastErr)
+		}
+		if werr := c.sleep(ctx, c.backoff(attempt, 0)); werr != nil {
+			return nil, fmt.Errorf("compile: %w", lastErr)
+		}
+		res.Retries++
+	}
+}
+
+// Statz fetches the daemon's load statistics (no retries: it is a
+// monitoring probe, staleness beats latency).
+func (c *Client) Statz(ctx context.Context) (*server.Statz, error) {
+	r, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/statz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.HTTPClient.Do(r)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("statz: status %d", resp.StatusCode)
+	}
+	st := &server.Statz{}
+	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// send issues one logical attempt: the primary request, plus a hedge
+// when configured and the primary is slow. The first response wins;
+// the loser's context is cancelled. hedged reports whether the winner
+// was the hedge.
+func (c *Client) send(ctx context.Context, body []byte, deadline time.Duration) (resp *http.Response, hedged bool, err error) {
+	if c.cfg.Hedge <= 0 {
+		resp, err = c.post(ctx, body, deadline)
+		return resp, false, err
+	}
+
+	ch := make(chan answer, 2)
+	launch := func(hedge bool) {
+		rctx, cancel := context.WithCancel(ctx)
+		go func() {
+			r, e := c.post(rctx, body, deadline)
+			ch <- answer{resp: r, err: e, hedge: hedge, cancel: cancel}
+		}()
+	}
+	launch(false)
+
+	timer := time.NewTimer(c.cfg.Hedge)
+	defer timer.Stop()
+	inflight := 1
+	select {
+	case a := <-ch:
+		defer a.cancel()
+		return a.resp, a.hedge, a.err
+	case <-timer.C:
+		launch(true)
+		inflight = 2
+	case <-ctx.Done():
+		// The primary will resolve (with ctx's error) shortly; drain it
+		// so its cancel runs.
+		a := <-ch
+		a.cancel()
+		return nil, false, ctx.Err()
+	}
+
+	// Two in flight: take the first usable answer; if the winner
+	// errored, fall back to the other.
+	var firstErr error
+	for i := 0; i < inflight; i++ {
+		a := <-ch
+		if a.resp != nil {
+			// Cancel the loser lazily: its own answer still lands in ch
+			// (buffered), and garbage collection of the channel drops it.
+			go drainCancel(ch, inflight-i-1)
+			defer a.cancel()
+			return a.resp, a.hedge, a.err
+		}
+		a.cancel()
+		if firstErr == nil {
+			firstErr = a.err
+		}
+	}
+	return nil, false, firstErr
+}
+
+// answer is one in-flight request's outcome, tagged with whether it
+// was the hedge and carrying its own cancel.
+type answer struct {
+	resp   *http.Response
+	err    error
+	hedge  bool
+	cancel context.CancelFunc
+}
+
+// drainCancel consumes the remaining n answers and cancels them.
+func drainCancel(ch chan answer, n int) {
+	for i := 0; i < n; i++ {
+		a := <-ch
+		a.cancel()
+		if a.resp != nil {
+			a.resp.Body.Close()
+		}
+	}
+}
+
+// post sends one POST /compile.
+func (c *Client) post(ctx context.Context, body []byte, deadline time.Duration) (*http.Response, error) {
+	r, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/compile", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	r.Header.Set("Content-Type", "application/json")
+	if deadline > 0 {
+		r.Header.Set(server.DeadlineHeader, strconv.FormatInt(deadline.Milliseconds(), 10))
+	}
+	return c.cfg.HTTPClient.Do(r)
+}
+
+// decodeInto consumes the response body into the Result and returns
+// the server's Retry-After hint (header first, JSON hint as fallback),
+// zero when absent.
+func decodeInto(res *Result, resp *http.Response) time.Duration {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if resp.StatusCode == http.StatusOK {
+		cr := &server.CompileResponse{}
+		if json.Unmarshal(body, cr) == nil {
+			res.Resp = cr
+		}
+		res.ErrBody = nil
+		return 0
+	}
+	res.Resp = nil
+	er := &server.ErrorResponse{}
+	if json.Unmarshal(body, er) == nil {
+		res.ErrBody = er
+	} else {
+		res.ErrBody = &server.ErrorResponse{Error: string(body)}
+	}
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, err := strconv.Atoi(h); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	if res.ErrBody != nil && res.ErrBody.RetryAfterSeconds > 0 {
+		return time.Duration(res.ErrBody.RetryAfterSeconds * float64(time.Second))
+	}
+	return 0
+}
+
+// backoff computes the wait before retry #attempt: exponential with
+// full jitter (sleep = rand() * backoff), stretched to the server's
+// Retry-After hint (capped at MaxRetryAfter) when that is longer.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	b := c.cfg.BaseBackoff << uint(attempt)
+	if b > c.cfg.MaxBackoff || b <= 0 {
+		b = c.cfg.MaxBackoff
+	}
+	d := time.Duration(c.cfg.Rand() * float64(b))
+	if retryAfter > c.cfg.MaxRetryAfter {
+		retryAfter = c.cfg.MaxRetryAfter
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// sleep waits d or until the context dies.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

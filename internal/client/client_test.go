@@ -1,0 +1,234 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"marion/internal/server"
+)
+
+func okBody(t *testing.T, w http.ResponseWriter, asm string) {
+	t.Helper()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(&server.CompileResponse{Assembly: asm}); err != nil {
+		t.Error(err)
+	}
+}
+
+func shedBody(w http.ResponseWriter, retryAfter string, secs float64) {
+	if retryAfter != "" {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(&server.ErrorResponse{
+		Error: "over capacity", RetryAfterSeconds: secs,
+	})
+}
+
+// TestRetryAfterShed: a 429 with a Retry-After hint is retried and the
+// hint is honored (capped by MaxRetryAfter so the test stays fast).
+func TestRetryAfterShed(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			shedBody(w, "1", 1)
+			return
+		}
+		okBody(t, w, "asm")
+	}))
+	defer ts.Close()
+
+	c := New(Config{
+		BaseURL:       ts.URL,
+		MaxRetries:    2,
+		BaseBackoff:   time.Millisecond,
+		MaxRetryAfter: 5 * time.Millisecond, // cap the 1s hint for the test
+		Rand:          func() float64 { return 0 },
+	})
+	start := time.Now()
+	res, err := c.Compile(context.Background(), &server.CompileRequest{Source: "x", Target: "r2000"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || res.Resp == nil || res.Resp.Assembly != "asm" {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Retries != 1 || res.Attempts != 2 {
+		t.Fatalf("retries %d attempts %d, want 1/2", res.Retries, res.Attempts)
+	}
+	if res.Sheds != 1 {
+		t.Fatalf("sheds %d, want 1 (the retried 429 still counts)", res.Sheds)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("retried after %v; the capped Retry-After (5ms) was not honored", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls", calls.Load())
+	}
+}
+
+// TestJSONHintOnly: with no Retry-After header, the JSON body hint
+// drives the wait.
+func TestJSONHintOnly(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			shedBody(w, "", 0.005)
+			return
+		}
+		okBody(t, w, "asm")
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, MaxRetries: 1, BaseBackoff: time.Millisecond,
+		Rand: func() float64 { return 0 }})
+	start := time.Now()
+	res, err := c.Compile(context.Background(), &server.CompileRequest{Source: "x"}, 0)
+	if err != nil || res.Status != 200 {
+		t.Fatalf("res %+v err %v", res, err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("JSON retry_after_seconds hint not honored")
+	}
+}
+
+// TestNoRetryOnUserError: 4xx other than 429 must come back untouched,
+// immediately, with the parsed error body.
+func TestNoRetryOnUserError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(&server.ErrorResponse{Error: "unknown target"})
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, MaxRetries: 5, BaseBackoff: time.Millisecond})
+	res, err := c.Compile(context.Background(), &server.CompileRequest{Source: "x"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusBadRequest || res.ErrBody == nil || res.ErrBody.Error != "unknown target" {
+		t.Fatalf("result = %+v", res)
+	}
+	if calls.Load() != 1 || res.Retries != 0 {
+		t.Fatalf("user error was retried: calls %d, retries %d", calls.Load(), res.Retries)
+	}
+}
+
+// TestRetriesExhausted: persistent 503s return the last error body
+// after MaxRetries rounds.
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(&server.ErrorResponse{Error: "draining"})
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, MaxRetries: 2, BaseBackoff: time.Millisecond,
+		Rand: func() float64 { return 0 }})
+	res, err := c.Compile(context.Background(), &server.CompileRequest{Source: "x"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusServiceUnavailable || res.Retries != 2 || calls.Load() != 3 {
+		t.Fatalf("status %d retries %d calls %d", res.Status, res.Retries, calls.Load())
+	}
+}
+
+// TestHedge: the primary hangs, the hedge answers, the client reports
+// the hedged win — tail latency cut without waiting for the straggler.
+func TestHedge(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		okBody(t, w, "hedged")
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	c := New(Config{BaseURL: ts.URL, Hedge: 5 * time.Millisecond})
+	res, err := c.Compile(context.Background(), &server.CompileRequest{Source: "x"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || res.Resp.Assembly != "hedged" {
+		t.Fatalf("result = %+v", res)
+	}
+	if !res.Hedged || res.Attempts != 2 {
+		t.Fatalf("hedged %v attempts %d, want true/2", res.Hedged, res.Attempts)
+	}
+}
+
+// TestContextCancel: a dead context aborts promptly with an error.
+func TestContextCancel(t *testing.T) {
+	done := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-done:
+		}
+	}))
+	defer ts.Close()
+	defer close(done) // unblock the handler before Close waits on it
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	c := New(Config{BaseURL: ts.URL, MaxRetries: 3, BaseBackoff: time.Millisecond})
+	if _, err := c.Compile(ctx, &server.CompileRequest{Source: "x"}, 0); err == nil {
+		t.Fatal("cancelled compile returned no error")
+	}
+}
+
+// TestDeadlineHeader: the deadline parameter reaches the server as the
+// X-Marion-Deadline-Ms header.
+func TestDeadlineHeader(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(server.DeadlineHeader))
+		okBody(t, w, "asm")
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL})
+	if _, err := c.Compile(context.Background(), &server.CompileRequest{Source: "x"}, 250*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "250" {
+		t.Fatalf("deadline header = %q, want 250", got.Load())
+	}
+}
+
+// TestStatz round-trips the monitoring endpoint.
+func TestStatz(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/statz" {
+			http.NotFound(w, r)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(&server.Statz{PressureLevel: 2, Limit: 7})
+	}))
+	defer ts.Close()
+
+	st, err := New(Config{BaseURL: ts.URL}).Statz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PressureLevel != 2 || st.Limit != 7 {
+		t.Fatalf("statz = %+v", st)
+	}
+}

@@ -61,6 +61,10 @@ type Config struct {
 	// consulted per function before the back end runs; see
 	// pipeline.Config.Cache for the admission policy.
 	Cache *cache.Cache
+	// CacheOnly serves functions exclusively from the cache; misses
+	// become pipeline.ErrCacheOnlyMiss diagnostics instead of compiles.
+	// The server's deepest brownout level.
+	CacheOnly bool
 }
 
 // Compiled is the result of one compilation.
@@ -187,6 +191,7 @@ func CompileModuleCtx(ctx context.Context, m *mach.Machine, mod *ir.Module, cfg 
 		Strict:       cfg.Strict,
 		Faults:       cfg.Faults,
 		Cache:        cfg.Cache,
+		CacheOnly:    cfg.CacheOnly,
 	})
 	if err := diags.Err(); err != nil {
 		return nil, err

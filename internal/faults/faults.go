@@ -12,6 +12,7 @@
 //	        | '@all'                 fire on fallback attempts too
 //	        | '@p=' FLOAT            fire probability (deterministic hash)
 //	        | '@seed=' UINT          seed for the @p hash
+//	        | '@max=' UINT           fire only for the first N indexes
 //
 // Modes:
 //
@@ -30,6 +31,14 @@
 // Selection is a pure function of (site, function name, function index,
 // attempt, seed) — never of time, goroutine identity or worker count —
 // so a spec misbehaves identically on every run.
+//
+// Beyond the pipeline sites (Sites), the compile service arms faults at
+// server-level sites (ServeSites): mariond fires "serve" around each
+// admitted request, with the breaker key (target/strategy) as the
+// function name and the per-key request sequence number as the index.
+// `serve:err@fn=r2000/rase@max=3` therefore makes exactly the first
+// three r2000/rase requests fail — the deterministic chaos hook that
+// drives a circuit breaker through trip, re-open and probe-based reset.
 package faults
 
 import (
@@ -72,15 +81,27 @@ func ParseMode(s string) (Mode, error) {
 	return None, fmt.Errorf("unknown fault mode %q (want panic, err, hang)", s)
 }
 
-// Sites is the injection-site catalogue: every named point where a
-// fault can be armed, in pipeline order. Parse rejects sites outside
-// this list so a typo cannot silently arm nothing.
+// Sites is the PIPELINE injection-site catalogue: every named point in
+// the back end where a fault can be armed, in pipeline order. The
+// chaos sweep (experiments.FaultMatrix) iterates exactly this list.
 func Sites() []string {
 	return []string{"xform", "select", "strategy", "sched", "regalloc", "frame", "verify"}
 }
 
+// ServeSites is the server-level catalogue: sites fired by mariond
+// around request handling rather than inside the back end, so chaos
+// specs can fail whole requests (and trip circuit breakers)
+// deterministically. They are accepted by Parse but excluded from
+// Sites so the pipeline chaos sweep's axis is unchanged.
+func ServeSites() []string { return []string{"serve"} }
+
 func knownSite(s string) bool {
 	for _, k := range Sites() {
+		if k == s {
+			return true
+		}
+	}
+	for _, k := range ServeSites() {
 		if k == s {
 			return true
 		}
@@ -103,6 +124,12 @@ type Fault struct {
 	// hash of (Seed, Site, function, attempt); 0 means always.
 	Prob float64
 	Seed uint64
+	// Max > 0 restricts the fault to the first Max indexes (index <
+	// Max). Pipeline sites index by source order, so @max bounds which
+	// functions fire; the server's serve site indexes by per-key request
+	// sequence, so @max bounds HOW MANY requests fail — the knob that
+	// lets a breaker's probe eventually succeed.
+	Max uint64
 }
 
 func (f Fault) String() string {
@@ -115,6 +142,9 @@ func (f Fault) String() string {
 	}
 	if f.Prob > 0 && f.Prob < 1 {
 		s += fmt.Sprintf("@p=%g@seed=%d", f.Prob, f.Seed)
+	}
+	if f.Max > 0 {
+		s += fmt.Sprintf("@max=%d", f.Max)
 	}
 	return s
 }
@@ -186,6 +216,12 @@ func Parse(spec string) (*Set, error) {
 					return nil, fmt.Errorf("fault %q: bad seed %q", entry, val)
 				}
 				f.Seed = n
+			case key == "max" && hasVal:
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil || n == 0 {
+					return nil, fmt.Errorf("fault %q: bad max %q", entry, val)
+				}
+				f.Max = n
 			default:
 				return nil, fmt.Errorf("fault %q: unknown option %q", entry, opt)
 			}
@@ -207,6 +243,9 @@ func (f *Fault) matches(fn string, index, attempt int) bool {
 		if i, err := strconv.Atoi(f.Fn); err != nil || i != index {
 			return false
 		}
+	}
+	if f.Max > 0 && uint64(index) >= f.Max {
+		return false
 	}
 	if f.Prob > 0 && f.Prob < 1 {
 		h := fnv.New64a()

@@ -188,3 +188,54 @@ func TestSiteModesAxis(t *testing.T) {
 		}
 	}
 }
+
+func TestServeSiteAndMax(t *testing.T) {
+	ctx := context.Background()
+
+	// The serve site parses (it is server-level, not in the pipeline
+	// catalogue) and round-trips with @max.
+	set, err := Parse("serve:err@fn=r2000/rase@max=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := set.Faults[0]
+	if f.Site != "serve" || f.Fn != "r2000/rase" || f.Max != 3 {
+		t.Fatalf("fault = %+v", f)
+	}
+	again, err := Parse(set.String())
+	if err != nil || again.Faults[0].Max != 3 {
+		t.Fatalf("round trip %q: %+v, %v", set.String(), again, err)
+	}
+
+	// @max bounds the index: the first three fire, the fourth does not —
+	// the deterministic breaker trip/recovery driver.
+	for i := 0; i < 3; i++ {
+		if err := New(set, ctx, "r2000/rase", i, 0).Fire("serve"); err == nil {
+			t.Errorf("index %d did not fire", i)
+		}
+	}
+	if err := New(set, ctx, "r2000/rase", 3, 0).Fire("serve"); err != nil {
+		t.Errorf("index 3 fired past @max=3: %v", err)
+	}
+	// Other keys never fire.
+	if err := New(set, ctx, "m88000/rase", 0, 0).Fire("serve"); err != nil {
+		t.Errorf("wrong key fired: %v", err)
+	}
+
+	// The serve site stays out of the pipeline sweep axis.
+	for _, s := range Sites() {
+		if s == "serve" {
+			t.Error("serve leaked into the pipeline site catalogue")
+		}
+	}
+	if len(ServeSites()) == 0 {
+		t.Error("no serve sites")
+	}
+
+	// Bad @max values are rejected.
+	for _, spec := range []string{"serve:err@max=0", "serve:err@max=x"} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}

@@ -37,6 +37,21 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is a settable atomic level — a value that goes up AND down
+// (current concurrency limit, brownout level), unlike a Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Histogram is a fixed-bucket distribution. An observation lands in the
 // first bucket whose upper bound is >= the value; values beyond the
 // last bound land in the implicit overflow bucket.
@@ -91,14 +106,19 @@ var TimeBuckets = []float64{
 // Registry is a named set of instruments. The zero value is NOT ready;
 // use NewRegistry or the package-level Default registry.
 type Registry struct {
-	mu    sync.RWMutex
-	ctrs  map[string]*Counter
-	hists map[string]*Histogram
+	mu     sync.RWMutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{ctrs: map[string]*Counter{}, hists: map[string]*Histogram{}}
+	return &Registry{
+		ctrs:   map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
 }
 
 var defaultRegistry = NewRegistry()
@@ -121,6 +141,23 @@ func (r *Registry) Counter(name string) *Counter {
 		r.ctrs[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -148,6 +185,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 // snapshots, keyed by name.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
@@ -161,6 +199,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for n, c := range r.ctrs {
 		s.Counters[n] = c.Value()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
 	}
 	for n, h := range r.hists {
 		s.Histograms[n] = h.Snapshot()

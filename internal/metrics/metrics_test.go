@@ -29,6 +29,31 @@ func TestCounterConcurrent(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("limit")
+	g.Set(8)
+	g.Add(-3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	if r.Gauge("limit") != g {
+		t.Fatal("same name returned different gauges")
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(r.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Gauges["limit"] != 5 {
+		t.Fatalf("snapshot gauges = %v", s.Gauges)
+	}
+	// A registry with no gauges omits the section entirely, keeping old
+	// snapshot consumers byte-compatible.
+	if NewRegistry().Snapshot().Gauges != nil {
+		t.Fatal("empty registry reported gauges")
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat", []float64{1, 10, 100})

@@ -1,0 +1,239 @@
+package overload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BreakerState is one circuit breaker's state.
+type BreakerState uint8
+
+const (
+	// Closed: requests flow normally; consecutive breaker-relevant
+	// failures are counted.
+	Closed BreakerState = iota
+	// Open: requests are rerouted (down the strategy fallback chain)
+	// until the cooldown elapses.
+	Open
+	// HalfOpen: the cooldown elapsed and exactly one probe request is
+	// in flight; its outcome closes or re-opens the breaker.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "state(?)"
+}
+
+// BreakerConfig tunes the per-key breakers.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive breaker-relevant failures
+	// (panics, budget exhaustions) that trips a key open. <= 0 means 5.
+	Threshold int
+	// Cooldown is how long a tripped key stays open before one probe is
+	// admitted (default 1s).
+	Cooldown time.Duration
+	// Clock is the time source (default time.Now), injectable for
+	// deterministic tests.
+	Clock func() time.Time
+}
+
+func (c *BreakerConfig) fill() {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+type breaker struct {
+	state   BreakerState
+	fails   int // consecutive failures while Closed
+	opened  time.Time
+	probing bool // a HalfOpen probe is in flight
+}
+
+// Breakers is a keyed set of circuit breakers — one per
+// (target, strategy) combination the server compiles under. All
+// methods are safe for concurrent use.
+type Breakers struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	m   map[string]*breaker
+
+	trips, resets int64
+}
+
+// NewBreakers builds an empty breaker set.
+func NewBreakers(cfg BreakerConfig) *Breakers {
+	cfg.fill()
+	return &Breakers{cfg: cfg, m: map[string]*breaker{}}
+}
+
+// Key names a breaker for a (target, strategy) combination.
+func Key(target, strategy string) string { return target + "/" + strategy }
+
+// Allow reports whether a request may run under key. probe is true
+// when the request is the single half-open probe after a cooldown —
+// its Success or Failure decides the breaker's fate. When allowed is
+// false the caller should reroute the request (and must NOT report
+// Success/Failure under this key).
+func (bs *Breakers) Allow(key string) (allowed, probe bool) {
+	now := bs.cfg.Clock()
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[key]
+	if b == nil {
+		return true, false
+	}
+	switch b.state {
+	case Closed:
+		return true, false
+	case Open:
+		if now.Sub(b.opened) >= bs.cfg.Cooldown {
+			b.state = HalfOpen
+			b.probing = true
+			return true, true
+		}
+		return false, false
+	case HalfOpen:
+		if !b.probing {
+			b.probing = true
+			return true, true
+		}
+		return false, false
+	}
+	return true, false
+}
+
+// Success records a completed request under key: a half-open probe
+// closes the breaker; a closed breaker's failure streak resets.
+func (bs *Breakers) Success(key string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[key]
+	if b == nil {
+		return
+	}
+	switch b.state {
+	case HalfOpen:
+		b.state = Closed
+		b.fails = 0
+		b.probing = false
+		bs.resets++
+	case Closed:
+		b.fails = 0
+	}
+}
+
+// Failure records a breaker-relevant failure under key and reports
+// whether this failure tripped the breaker open (a trip is the moment
+// to write a quarantine bundle). A failed half-open probe re-opens —
+// that also counts as a trip.
+func (bs *Breakers) Failure(key string) (tripped bool) {
+	now := bs.cfg.Clock()
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[key]
+	if b == nil {
+		b = &breaker{}
+		bs.m[key] = b
+	}
+	switch b.state {
+	case Closed:
+		b.fails++
+		if b.fails >= bs.cfg.Threshold {
+			b.state = Open
+			b.opened = now
+			bs.trips++
+			return true
+		}
+	case HalfOpen:
+		b.state = Open
+		b.opened = now
+		b.probing = false
+		bs.trips++
+		return true
+	case Open:
+		// A request admitted before the trip finishing late; keep open.
+		b.opened = now
+	}
+	return false
+}
+
+// AtRisk reports whether the NEXT failure under key could trip the
+// breaker — callers use it to capture replay state (the quarantine
+// bundle's IL) before running work that might be the tripping request.
+func (bs *Breakers) AtRisk(key string) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[key]
+	if b == nil {
+		return bs.cfg.Threshold <= 1
+	}
+	switch b.state {
+	case Closed:
+		return b.fails >= bs.cfg.Threshold-1
+	case HalfOpen:
+		return true
+	}
+	return false
+}
+
+// States renders every tracked key's state, for /statz: "closed",
+// "closed(n fails)", "open", "half-open".
+func (bs *Breakers) States() map[string]string {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if len(bs.m) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(bs.m))
+	for k, b := range bs.m {
+		s := b.state.String()
+		if b.state == Closed && b.fails > 0 {
+			s = fmt.Sprintf("closed(%d fails)", b.fails)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// OpenKeys lists the keys that are currently open or half-open, sorted.
+func (bs *Breakers) OpenKeys() []string {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	var out []string
+	for k, b := range bs.m {
+		if b.state != Closed {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BreakerSnapshot is a point-in-time view for /statz.
+type BreakerSnapshot struct {
+	Trips, Resets int64
+}
+
+// Snapshot reads trip/reset totals.
+func (bs *Breakers) Snapshot() BreakerSnapshot {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return BreakerSnapshot{Trips: bs.trips, Resets: bs.resets}
+}

@@ -1,0 +1,178 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// Brownout levels: what the server gives up at each rung. Each level
+// includes everything above it; the ladder is climbed and descended one
+// level at a time.
+const (
+	// LevelNormal serves full-quality responses.
+	LevelNormal = 0
+	// LevelNoVerify disables the optional verify phase on requests that
+	// asked for it (the cheapest quality give-back: results are still
+	// exactly the requested strategy's code).
+	LevelNoVerify = 1
+	// LevelCheapStrategy caps the strategy at Postpass: the expensive
+	// combinatorial rungs (RASE, IPS) are served with the cheaper
+	// schedule-after-allocate pipeline.
+	LevelCheapStrategy = 2
+	// LevelSafe forces the Safe strategy: sequential, nop-filled,
+	// cheapest code generation that is still correct by construction.
+	LevelSafe = 3
+	// LevelCacheOnly serves cache hits only; misses are shed with a
+	// retry hint instead of compiling anything.
+	LevelCacheOnly = 4
+)
+
+// LevelString names a brownout level for responses and logs.
+func LevelString(l int) string {
+	switch l {
+	case LevelNormal:
+		return "normal"
+	case LevelNoVerify:
+		return "no-verify"
+	case LevelCheapStrategy:
+		return "cheap-strategy"
+	case LevelSafe:
+		return "safe-only"
+	case LevelCacheOnly:
+		return "cache-only"
+	}
+	return "level(?)"
+}
+
+// BrownoutConfig tunes the hysteresis of the ladder.
+type BrownoutConfig struct {
+	// MaxLevel caps the ladder (default LevelCacheOnly).
+	MaxLevel int
+	// Enter is the pressure at or above which the level rises (default
+	// 0.75 — the wait queue half full; see Limiter.Pressure).
+	Enter float64
+	// Exit is the pressure at or below which recovery begins (default
+	// 0.45). Between Exit and Enter the level holds — that band is the
+	// hysteresis that stops flapping.
+	Exit float64
+	// Rise is the minimum dwell between two raises (default 50ms), so a
+	// single burst climbs the ladder level-by-level, not in one jump.
+	Rise time.Duration
+	// Hold is how long pressure must stay at or below Exit before each
+	// one-level recovery step (default 500ms).
+	Hold time.Duration
+	// Clock is the time source (default time.Now); injectable so the
+	// hysteresis is deterministic under test.
+	Clock func() time.Time
+}
+
+func (c *BrownoutConfig) fill() {
+	if c.MaxLevel <= 0 {
+		c.MaxLevel = LevelCacheOnly
+	}
+	if c.Enter <= 0 {
+		c.Enter = 0.75
+	}
+	if c.Exit <= 0 {
+		c.Exit = 0.45
+	}
+	if c.Exit >= c.Enter {
+		c.Exit = c.Enter / 2
+	}
+	if c.Rise <= 0 {
+		c.Rise = 50 * time.Millisecond
+	}
+	if c.Hold <= 0 {
+		c.Hold = 500 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// Brownout is the hysteretic degradation ladder. Observe is fed the
+// limiter's pressure signal (from request handling and from a periodic
+// tick, so recovery happens even when no requests arrive).
+type Brownout struct {
+	mu   sync.Mutex
+	cfg  BrownoutConfig
+	lvl  int
+	last time.Time // time of the last level change
+	calm time.Time // since when pressure has stayed <= Exit (zero: it hasn't)
+
+	raised, lowered int64
+}
+
+// NewBrownout builds a Brownout at level 0.
+func NewBrownout(cfg BrownoutConfig) *Brownout {
+	cfg.fill()
+	return &Brownout{cfg: cfg}
+}
+
+// Observe feeds one pressure sample and returns the (possibly changed)
+// level. Rising is fast (one level per Rise interval while pressure
+// stays at or above Enter); falling is slow (one level per Hold of
+// continuously calm pressure).
+func (b *Brownout) Observe(p float64) int {
+	now := b.cfg.Clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case p >= b.cfg.Enter:
+		b.calm = time.Time{}
+		if b.lvl < b.cfg.MaxLevel && (b.lvl == 0 || now.Sub(b.last) >= b.cfg.Rise) {
+			b.lvl++
+			b.last = now
+			b.raised++
+		}
+	case p <= b.cfg.Exit:
+		if b.calm.IsZero() {
+			b.calm = now
+		}
+		if b.lvl > 0 && now.Sub(b.calm) >= b.cfg.Hold && now.Sub(b.last) >= b.cfg.Hold {
+			b.lvl--
+			b.last = now
+			b.lowered++
+		}
+	default:
+		// Hysteresis band: hold the level, restart the calm clock.
+		b.calm = time.Time{}
+	}
+	return b.lvl
+}
+
+// Level returns the current brownout level without observing.
+func (b *Brownout) Level() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lvl
+}
+
+// Force pins the level directly — for tests and for operators draining
+// a known-degraded instance. It resets the hysteresis clocks.
+func (b *Brownout) Force(level int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if level < 0 {
+		level = 0
+	}
+	if level > b.cfg.MaxLevel {
+		level = b.cfg.MaxLevel
+	}
+	b.lvl = level
+	b.last = b.cfg.Clock()
+	b.calm = time.Time{}
+}
+
+// BrownoutSnapshot is a point-in-time view for /statz.
+type BrownoutSnapshot struct {
+	Level           int
+	Raised, Lowered int64
+}
+
+// Snapshot reads the ladder's current state.
+func (b *Brownout) Snapshot() BrownoutSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BrownoutSnapshot{Level: b.lvl, Raised: b.raised, Lowered: b.lowered}
+}

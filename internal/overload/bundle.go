@@ -1,0 +1,95 @@
+package overload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Bundle is the replayable quarantine record a breaker trip leaves
+// behind: everything needed to reproduce the failing compilation
+// offline with `marionc -replay <dir>`. The bundle is a directory of
+// two files — config.json (this struct) and input.il (the module as
+// textual IL, printed by internal/iltext from the request source) — so
+// it is diffable and hand-editable while minimizing.
+type Bundle struct {
+	// Key is the tripped breaker's key (target/strategy).
+	Key string `json:"key"`
+	// Target and Strategy reproduce the compilation.
+	Target   string `json:"target"`
+	Strategy string `json:"strategy"`
+	// Reason is the failure that tripped the breaker.
+	Reason string `json:"reason"`
+	// Failures is the consecutive-failure count at trip time.
+	Failures int `json:"failures"`
+	// Options are the driver knobs the request compiled under.
+	Options BundleOptions `json:"options"`
+}
+
+// BundleOptions are the code-changing driver options captured for
+// replay.
+type BundleOptions struct {
+	Workers      int   `json:"workers,omitempty"`
+	Verify       bool  `json:"verify,omitempty"`
+	Strict       bool  `json:"strict,omitempty"`
+	LinearSelect bool  `json:"linear_select,omitempty"`
+	BudgetMs     int64 `json:"budget_ms,omitempty"`
+}
+
+// ILFile and ConfigFile are the bundle's member names.
+const (
+	ILFile     = "input.il"
+	ConfigFile = "config.json"
+)
+
+// WriteBundle writes a quarantine bundle under dir, in a fresh
+// numbered subdirectory derived from the key (e.g. r2000-rase-2/), and
+// returns that subdirectory's path.
+func WriteBundle(dir string, b *Bundle, il string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	base := strings.NewReplacer("/", "-", "\\", "-", ":", "-").Replace(b.Key)
+	var path string
+	for n := 1; ; n++ {
+		path = filepath.Join(dir, fmt.Sprintf("%s-%d", base, n))
+		err := os.Mkdir(path, 0o755)
+		if err == nil {
+			break
+		}
+		if !os.IsExist(err) {
+			return "", err
+		}
+	}
+	cfg, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(path, ConfigFile), append(cfg, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(path, ILFile), []byte(il), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadBundle reads a quarantine bundle directory back: the config and
+// the IL text.
+func LoadBundle(path string) (*Bundle, string, error) {
+	cfg, err := os.ReadFile(filepath.Join(path, ConfigFile))
+	if err != nil {
+		return nil, "", err
+	}
+	b := &Bundle{}
+	if err := json.Unmarshal(cfg, b); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", ConfigFile, err)
+	}
+	il, err := os.ReadFile(filepath.Join(path, ILFile))
+	if err != nil {
+		return nil, "", err
+	}
+	return b, string(il), nil
+}

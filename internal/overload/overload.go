@@ -1,0 +1,406 @@
+// Package overload is mariond's adaptive overload-control layer: the
+// machinery that keeps a compile service useful when offered load
+// exceeds capacity, instead of queueing doomed work or shedding
+// blindly.
+//
+// Three cooperating pieces, each independently testable:
+//
+//   - Limiter: an adaptive concurrency limiter. The admission limit is
+//     not a fixed semaphore but an AIMD controller driven by measured
+//     service time against a configured SLO — additive increase while
+//     compiles finish inside the SLO, multiplicative decrease when they
+//     run over (or fail on deadline). The wait queue is deadline-aware:
+//     a request whose remaining deadline is already below the EWMA
+//     service-time estimate is shed immediately (it is doomed — it
+//     would only expire after wasting queue time), and queued waiters
+//     are re-checked on every release. RetryAfter derives a retry hint
+//     from queue depth × the service estimate, replacing guesses.
+//
+//   - Brownout (brownout.go): a hysteretic pressure ladder. Rising
+//     pressure degrades service quality one level at a time (verify
+//     off → cheaper strategy → Safe → cache-hits-only); levels recover
+//     one at a time only after pressure stays low for a hold period,
+//     so the ladder never flaps.
+//
+//   - Breakers (breaker.go): per-key circuit breakers with probe-based
+//     reset, so one crashing (target, strategy) combination stops
+//     consuming compile slots while everything else keeps serving.
+//     bundle.go writes the replayable quarantine bundle a trip leaves
+//     behind.
+//
+// The package has no HTTP or compiler dependencies; internal/server
+// wires it to requests.
+package overload
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// Decision is the outcome of Limiter.Acquire.
+type Decision uint8
+
+const (
+	// Admitted: the caller holds a slot and must call the release func.
+	Admitted Decision = iota
+	// ShedFull: the wait queue was full; retry after RetryAfter.
+	ShedFull
+	// ShedDoomed: the request's remaining deadline is below the service
+	// estimate — it would expire in the queue, so it is shed up front.
+	ShedDoomed
+	// Expired: the context finished while queued.
+	Expired
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Admitted:
+		return "admitted"
+	case ShedFull:
+		return "shed-full"
+	case ShedDoomed:
+		return "shed-doomed"
+	case Expired:
+		return "expired"
+	}
+	return "decision(?)"
+}
+
+// LimiterConfig tunes a Limiter.
+type LimiterConfig struct {
+	// Initial is the starting concurrency limit (and the permanent one
+	// when SLO is zero). <= 0 means 1.
+	Initial int
+	// Min and Max bound the adaptive limit. Defaults: 1 and
+	// 4 * Initial.
+	Min, Max int
+	// SLO is the target service time driving AIMD adaptation; zero
+	// keeps the limit fixed at Initial (the static-semaphore behavior).
+	SLO time.Duration
+	// MaxQueue bounds the wait queue; <= 0 means 2 * Initial.
+	MaxQueue int
+	// DecreaseFactor is the multiplicative-decrease ratio applied when
+	// a sample breaches the SLO (0 means 0.7). Decreases are paced: at
+	// most one per SLO interval, so one burst of slow completions does
+	// not collapse the limit to Min.
+	DecreaseFactor float64
+	// Alpha is the EWMA smoothing factor for the service-time estimate
+	// (0 means 0.3).
+	Alpha float64
+}
+
+func (c *LimiterConfig) fill() {
+	if c.Initial <= 0 {
+		c.Initial = 1
+	}
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 4 * c.Initial
+	}
+	if c.Max < c.Initial {
+		c.Max = c.Initial
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.Initial
+	}
+	if c.DecreaseFactor <= 0 || c.DecreaseFactor >= 1 {
+		c.DecreaseFactor = 0.7
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+}
+
+// waiter is one queued Acquire; res is buffered so the limiter never
+// blocks resolving it.
+type waiter struct {
+	res      chan Decision
+	deadline time.Time // zero: no deadline
+}
+
+// Limiter is the adaptive admission controller. All methods are safe
+// for concurrent use.
+type Limiter struct {
+	mu       sync.Mutex
+	cfg      LimiterConfig
+	limit    int
+	inflight int
+	queue    []*waiter
+
+	est     float64 // EWMA service-time estimate, seconds; 0 = no samples
+	succ    int     // in-SLO completions since the last limit change
+	lastDec time.Time
+
+	evicted, shedFull, expired int64
+	increases, decreases       int64
+}
+
+// NewLimiter builds a Limiter.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg.fill()
+	return &Limiter{cfg: cfg, limit: cfg.Initial}
+}
+
+// Acquire takes an admission slot. On Admitted the returned release
+// func MUST be called exactly once when the work finishes; its argument
+// reports whether the work completed (true) or died on its deadline
+// (false — the sample still counts against the SLO). Every other
+// decision returns a nil release.
+//
+// The context's deadline drives doomed-shedding: when the remaining
+// deadline is below the EWMA service estimate, queueing cannot help and
+// the request is shed as ShedDoomed.
+func (l *Limiter) Acquire(ctx context.Context) (release func(ok bool), dec Decision) {
+	l.mu.Lock()
+	if l.inflight < l.limit && len(l.queue) == 0 {
+		l.inflight++
+		l.mu.Unlock()
+		return l.releaser(time.Now()), Admitted
+	}
+	if len(l.queue) >= l.cfg.MaxQueue {
+		l.shedFull++
+		l.mu.Unlock()
+		return nil, ShedFull
+	}
+	if dl, ok := ctx.Deadline(); ok && l.doomedLocked(dl, time.Now()) {
+		l.evicted++
+		l.mu.Unlock()
+		return nil, ShedDoomed
+	}
+	w := &waiter{res: make(chan Decision, 1)}
+	if dl, ok := ctx.Deadline(); ok {
+		w.deadline = dl
+	}
+	l.queue = append(l.queue, w)
+	l.mu.Unlock()
+
+	select {
+	case d := <-w.res:
+		if d == Admitted {
+			return l.releaser(time.Now()), Admitted
+		}
+		return nil, d
+	case <-ctx.Done():
+		l.mu.Lock()
+		select {
+		case d := <-w.res:
+			// Raced with a resolver. An admission must be handed back:
+			// the caller is giving up.
+			if d == Admitted {
+				l.inflight--
+				l.admitLocked()
+			}
+		default:
+			l.removeLocked(w)
+		}
+		l.expired++
+		l.mu.Unlock()
+		return nil, Expired
+	}
+}
+
+// releaser returns the release closure for one admitted request.
+func (l *Limiter) releaser(start time.Time) func(ok bool) {
+	var once sync.Once
+	return func(ok bool) {
+		once.Do(func() {
+			d := time.Since(start)
+			l.mu.Lock()
+			l.observeLocked(d, ok)
+			l.inflight--
+			l.sweepLocked(time.Now())
+			l.admitLocked()
+			l.mu.Unlock()
+		})
+	}
+}
+
+// observeLocked records one service-time sample: EWMA update plus the
+// AIMD rule against the SLO.
+func (l *Limiter) observeLocked(d time.Duration, ok bool) {
+	s := d.Seconds()
+	if l.est == 0 {
+		l.est = s
+	} else {
+		l.est = l.cfg.Alpha*s + (1-l.cfg.Alpha)*l.est
+	}
+	if l.cfg.SLO <= 0 {
+		return
+	}
+	if ok && d <= l.cfg.SLO {
+		l.succ++
+		// One full round of in-SLO completions at the current limit
+		// earns one more slot (additive increase).
+		if l.succ >= l.limit && l.limit < l.cfg.Max {
+			l.limit++
+			l.succ = 0
+			l.increases++
+		}
+		return
+	}
+	// Over SLO (or a deadline death): multiplicative decrease, paced to
+	// at most once per SLO interval so one slow burst is one cut.
+	l.succ = 0
+	now := time.Now()
+	if now.Sub(l.lastDec) < l.cfg.SLO {
+		return
+	}
+	next := int(math.Floor(float64(l.limit) * l.cfg.DecreaseFactor))
+	if next < l.cfg.Min {
+		next = l.cfg.Min
+	}
+	if next < l.limit {
+		l.limit = next
+		l.lastDec = now
+		l.decreases++
+	}
+}
+
+// doomedLocked reports whether a deadline cannot outlast the estimated
+// service time (plus the wait already ahead of it).
+func (l *Limiter) doomedLocked(deadline, now time.Time) bool {
+	if l.est == 0 {
+		return false
+	}
+	return deadline.Sub(now).Seconds() < l.est
+}
+
+// sweepLocked evicts queued waiters that have become doomed: their
+// remaining deadline fell below the (possibly updated) estimate.
+func (l *Limiter) sweepLocked(now time.Time) {
+	if l.est == 0 {
+		return
+	}
+	kept := l.queue[:0]
+	for _, w := range l.queue {
+		if !w.deadline.IsZero() && l.doomedLocked(w.deadline, now) {
+			w.res <- ShedDoomed
+			l.evicted++
+			continue
+		}
+		kept = append(kept, w)
+	}
+	l.queue = kept
+}
+
+// admitLocked hands free slots to the queue head, FIFO.
+func (l *Limiter) admitLocked() {
+	for l.inflight < l.limit && len(l.queue) > 0 {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		l.inflight++
+		w.res <- Admitted
+	}
+}
+
+func (l *Limiter) removeLocked(w *waiter) {
+	for i, q := range l.queue {
+		if q == w {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// RetryAfter is the computed retry hint: the estimated time for the
+// current queue to drain through the current limit, floored at one
+// second (never the blind "1" of a fixed header, except when idle).
+func (l *Limiter) RetryAfter() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.est == 0 {
+		return time.Second
+	}
+	lim := l.limit
+	if lim < 1 {
+		lim = 1
+	}
+	d := time.Duration(l.est * float64(len(l.queue)+1) / float64(lim) * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// Pressure is the scalar the brownout ladder consumes, in [0, 1]: the
+// lower half tracks slot occupancy, the upper half queue occupancy, so
+// 0.5 means "every slot busy, queue empty" and 1.0 "queue full".
+func (l *Limiter) Pressure() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.limit <= 0 {
+		return 1
+	}
+	if l.inflight < l.limit && len(l.queue) == 0 {
+		return 0.5 * float64(l.inflight) / float64(l.limit)
+	}
+	qf := float64(len(l.queue)) / float64(l.cfg.MaxQueue)
+	if qf > 1 {
+		qf = 1
+	}
+	return 0.5 + 0.5*qf
+}
+
+// Prime seeds the service-time estimate, for tests and for operators
+// who know their workload's cost before the first sample lands.
+func (l *Limiter) Prime(d time.Duration) {
+	l.mu.Lock()
+	l.est = d.Seconds()
+	l.mu.Unlock()
+}
+
+// LimiterSnapshot is a point-in-time view for /statz.
+type LimiterSnapshot struct {
+	Limit, Inflight, Queued              int
+	Evicted, ShedFull, Expired           int64
+	Increases, Decreases                 int64
+	EstimateSeconds, Pressure            float64
+	Capacity /* initial limit */, MaxCap int
+}
+
+// Snapshot reads the limiter's current state.
+func (l *Limiter) Snapshot() LimiterSnapshot {
+	p := l.Pressure()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LimiterSnapshot{
+		Limit: l.limit, Inflight: l.inflight, Queued: len(l.queue),
+		Evicted: l.evicted, ShedFull: l.shedFull, Expired: l.expired,
+		Increases: l.increases, Decreases: l.decreases,
+		EstimateSeconds: l.est, Pressure: p,
+		Capacity: l.cfg.Initial, MaxCap: l.cfg.Max,
+	}
+}
+
+// Limit returns the current adaptive concurrency limit.
+func (l *Limiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}
+
+// Inflight returns the number of held slots.
+func (l *Limiter) Inflight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
+
+// Queued returns the number of waiting requests.
+func (l *Limiter) Queued() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue)
+}
+
+// Evicted returns the count of doomed-deadline sheds (up-front and
+// in-queue).
+func (l *Limiter) Evicted() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
+}

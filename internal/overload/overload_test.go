@@ -1,0 +1,494 @@
+package overload
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --------------------------------------------------------------------
+// Limiter
+// --------------------------------------------------------------------
+
+func TestLimiterAdmitAndQueue(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, MaxQueue: 1})
+
+	rel, dec := l.Acquire(context.Background())
+	if dec != Admitted || rel == nil {
+		t.Fatalf("first acquire: %v", dec)
+	}
+	if l.Inflight() != 1 {
+		t.Fatalf("inflight = %d, want 1", l.Inflight())
+	}
+
+	// Second acquire queues; third sheds (queue full).
+	type got struct {
+		rel func(bool)
+		dec Decision
+	}
+	c := make(chan got)
+	go func() {
+		r, d := l.Acquire(context.Background())
+		c <- got{r, d}
+	}()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+
+	if _, dec := l.Acquire(context.Background()); dec != ShedFull {
+		t.Fatalf("over-queue acquire: %v, want ShedFull", dec)
+	}
+
+	rel(true)
+	g := <-c
+	if g.dec != Admitted {
+		t.Fatalf("queued acquire: %v, want Admitted", g.dec)
+	}
+	g.rel(true)
+	if l.Inflight() != 0 || l.Queued() != 0 {
+		t.Fatalf("inflight %d queued %d after releases", l.Inflight(), l.Queued())
+	}
+}
+
+func TestLimiterDoomedShedUpFront(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, MaxQueue: 4})
+	rel, _ := l.Acquire(context.Background())
+	defer rel(true)
+
+	// No estimate yet: a short deadline queues (and expires) rather than
+	// being guessed at.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, dec := l.Acquire(ctx); dec != Expired {
+		t.Fatalf("pre-estimate short deadline: %v, want Expired", dec)
+	}
+
+	// With a primed 10s estimate, the same deadline is doomed: shed
+	// immediately, deterministically.
+	l.Prime(10 * time.Second)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, dec := l.Acquire(ctx2)
+	if dec != ShedDoomed {
+		t.Fatalf("doomed acquire: %v, want ShedDoomed", dec)
+	}
+	if time.Since(start) > 40*time.Millisecond {
+		t.Error("doomed shed waited instead of returning immediately")
+	}
+	if l.Evicted() != 1 {
+		t.Errorf("evicted = %d, want 1", l.Evicted())
+	}
+	// A long deadline still queues.
+	ctx3, cancel3 := context.WithCancel(context.Background())
+	done := make(chan Decision, 1)
+	go func() {
+		_, d := l.Acquire(ctx3)
+		done <- d
+	}()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+	cancel3()
+	if d := <-done; d != Expired {
+		t.Fatalf("cancelled queued acquire: %v, want Expired", d)
+	}
+}
+
+func TestLimiterSweepEvictsQueuedDoomed(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, MaxQueue: 4})
+	rel, _ := l.Acquire(context.Background())
+
+	// Queue a waiter with a 100ms deadline while no estimate exists.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	done := make(chan Decision, 1)
+	go func() {
+		_, d := l.Acquire(ctx)
+		done <- d
+	}()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+
+	// The release's sample sets the estimate far above the waiter's
+	// remaining deadline; the sweep must evict it as doomed. Prime
+	// stands in for a slow completion.
+	l.Prime(10 * time.Second)
+	rel(true)
+	if d := <-done; d != ShedDoomed {
+		t.Fatalf("queued doomed waiter: %v, want ShedDoomed", d)
+	}
+}
+
+func TestLimiterAIMD(t *testing.T) {
+	slo := 10 * time.Millisecond
+	l := NewLimiter(LimiterConfig{Initial: 2, Min: 1, Max: 8, MaxQueue: 4, SLO: slo})
+
+	// Additive increase: one full round of in-SLO completions per +1.
+	fast := func() {
+		rel, dec := l.Acquire(context.Background())
+		if dec != Admitted {
+			t.Fatalf("acquire: %v", dec)
+		}
+		rel(true) // ~0ms, inside the SLO
+	}
+	for i := 0; i < 2; i++ {
+		fast()
+	}
+	if got := l.Limit(); got != 3 {
+		t.Fatalf("limit after one in-SLO round = %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		fast()
+	}
+	if got := l.Limit(); got != 4 {
+		t.Fatalf("limit after second round = %d, want 4", got)
+	}
+
+	// Multiplicative decrease on an over-SLO sample: 4 -> 2 (x0.7,
+	// floored), never below Min; paced to one cut per SLO interval.
+	rel, _ := l.Acquire(context.Background())
+	time.Sleep(2 * slo)
+	rel(true)
+	if got := l.Limit(); got != 2 {
+		t.Fatalf("limit after over-SLO sample = %d, want 2", got)
+	}
+	// A second slow sample inside the pacing window must not cut again.
+	rel2, _ := l.Acquire(context.Background())
+	rel2(false)
+	if got := l.Limit(); got != 2 {
+		t.Fatalf("limit cut twice within one SLO interval: %d", got)
+	}
+}
+
+func TestLimiterFixedWithoutSLO(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 3, MaxQueue: 1})
+	for i := 0; i < 10; i++ {
+		rel, dec := l.Acquire(context.Background())
+		if dec != Admitted {
+			t.Fatal(dec)
+		}
+		rel(true)
+	}
+	if got := l.Limit(); got != 3 {
+		t.Fatalf("limit drifted without SLO: %d, want 3", got)
+	}
+}
+
+func TestLimiterRetryAfter(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 2, MaxQueue: 8})
+	if got := l.RetryAfter(); got != time.Second {
+		t.Fatalf("retry-after with no estimate = %v, want 1s", got)
+	}
+	l.Prime(4 * time.Second)
+	// Empty queue: est * 1 / limit = 2s.
+	if got := l.RetryAfter(); got != 2*time.Second {
+		t.Fatalf("retry-after = %v, want 2s", got)
+	}
+	// Floor at 1s.
+	l.Prime(10 * time.Millisecond)
+	if got := l.RetryAfter(); got != time.Second {
+		t.Fatalf("retry-after floor = %v, want 1s", got)
+	}
+}
+
+func TestLimiterPressure(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 2, MaxQueue: 2})
+	if p := l.Pressure(); p != 0 {
+		t.Fatalf("idle pressure = %v", p)
+	}
+	r1, _ := l.Acquire(context.Background())
+	if p := l.Pressure(); p != 0.25 {
+		t.Fatalf("half-busy pressure = %v, want 0.25", p)
+	}
+	r2, _ := l.Acquire(context.Background())
+	if p := l.Pressure(); p != 0.5 {
+		t.Fatalf("all-slots-busy pressure = %v, want 0.5", p)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Acquire(ctx)
+		}()
+	}
+	waitFor(t, func() bool { return l.Queued() == 2 })
+	if p := l.Pressure(); p != 1 {
+		t.Fatalf("full-queue pressure = %v, want 1", p)
+	}
+	cancel()
+	wg.Wait()
+	r1(true)
+	r2(true)
+}
+
+func TestLimiterConcurrency(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 4, Max: 8, MaxQueue: 64, SLO: time.Millisecond})
+	var wg sync.WaitGroup
+	var admitted, other sync.Map
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			rel, dec := l.Acquire(ctx)
+			if dec == Admitted {
+				admitted.Store(i, true)
+				if l.Inflight() > l.Snapshot().MaxCap {
+					t.Error("inflight exceeded max limit")
+				}
+				rel(true)
+			} else {
+				other.Store(i, dec)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if l.Inflight() != 0 || l.Queued() != 0 {
+		t.Fatalf("leaked state: inflight %d queued %d", l.Inflight(), l.Queued())
+	}
+}
+
+// --------------------------------------------------------------------
+// Brownout
+// --------------------------------------------------------------------
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBrownoutHysteresis(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBrownout(BrownoutConfig{
+		Enter: 0.75, Exit: 0.45,
+		Rise: 50 * time.Millisecond, Hold: 500 * time.Millisecond,
+		Clock: clk.now,
+	})
+
+	// First high sample raises immediately; further raises are paced.
+	if lvl := b.Observe(0.9); lvl != 1 {
+		t.Fatalf("first high observation: level %d, want 1", lvl)
+	}
+	if lvl := b.Observe(0.9); lvl != 1 {
+		t.Fatalf("unpaced second raise: level %d", lvl)
+	}
+	clk.advance(60 * time.Millisecond)
+	if lvl := b.Observe(1.0); lvl != 2 {
+		t.Fatalf("paced raise: level %d, want 2", lvl)
+	}
+	clk.advance(60 * time.Millisecond)
+	b.Observe(1.0)
+	clk.advance(60 * time.Millisecond)
+	b.Observe(1.0)
+	clk.advance(60 * time.Millisecond)
+	if lvl := b.Observe(1.0); lvl != LevelCacheOnly {
+		t.Fatalf("ladder cap: level %d, want %d", lvl, LevelCacheOnly)
+	}
+
+	// The hysteresis band holds the level — neither up nor down.
+	clk.advance(time.Hour)
+	if lvl := b.Observe(0.6); lvl != LevelCacheOnly {
+		t.Fatalf("band observation changed level: %d", lvl)
+	}
+
+	// Recovery: calm pressure must persist for Hold per step, one level
+	// at a time.
+	if lvl := b.Observe(0.1); lvl != LevelCacheOnly {
+		t.Fatalf("instant recovery: %d", lvl)
+	}
+	clk.advance(501 * time.Millisecond)
+	if lvl := b.Observe(0.1); lvl != LevelSafe {
+		t.Fatalf("first recovery step: %d, want %d", lvl, LevelSafe)
+	}
+	// A spike into the band restarts the calm clock.
+	clk.advance(400 * time.Millisecond)
+	b.Observe(0.6)
+	clk.advance(400 * time.Millisecond)
+	if lvl := b.Observe(0.1); lvl != LevelSafe {
+		t.Fatalf("calm clock not restarted by band spike: %d", lvl)
+	}
+	clk.advance(501 * time.Millisecond)
+	if lvl := b.Observe(0.1); lvl != LevelCheapStrategy {
+		t.Fatalf("second recovery step: %d, want %d", lvl, LevelCheapStrategy)
+	}
+	clk.advance(501 * time.Millisecond)
+	b.Observe(0.1)
+	clk.advance(501 * time.Millisecond)
+	if lvl := b.Observe(0.1); lvl != LevelNormal {
+		t.Fatalf("full recovery: %d, want 0", lvl)
+	}
+
+	snap := b.Snapshot()
+	if snap.Raised != 4 || snap.Lowered != 4 {
+		t.Errorf("snapshot raised/lowered = %d/%d, want 4/4", snap.Raised, snap.Lowered)
+	}
+}
+
+func TestBrownoutForce(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{})
+	b.Force(LevelSafe)
+	if b.Level() != LevelSafe {
+		t.Fatalf("forced level = %d", b.Level())
+	}
+	b.Force(99)
+	if b.Level() != LevelCacheOnly {
+		t.Fatalf("force beyond cap = %d", b.Level())
+	}
+	b.Force(-1)
+	if b.Level() != 0 {
+		t.Fatalf("force below 0 = %d", b.Level())
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	want := map[int]string{
+		0: "normal", 1: "no-verify", 2: "cheap-strategy", 3: "safe-only", 4: "cache-only",
+	}
+	for l, s := range want {
+		if LevelString(l) != s {
+			t.Errorf("LevelString(%d) = %q, want %q", l, LevelString(l), s)
+		}
+	}
+}
+
+// --------------------------------------------------------------------
+// Breakers
+// --------------------------------------------------------------------
+
+func TestBreakerTripRerouteProbeReset(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	bs := NewBreakers(BreakerConfig{Threshold: 2, Cooldown: time.Second, Clock: clk.now})
+	key := Key("r2000", "rase")
+
+	if ok, probe := bs.Allow(key); !ok || probe {
+		t.Fatalf("fresh key Allow = %v, %v", ok, probe)
+	}
+	if bs.Failure(key) {
+		t.Fatal("tripped below threshold")
+	}
+	if !bs.AtRisk(key) {
+		t.Error("one failure below threshold should be at-risk")
+	}
+	if !bs.Failure(key) {
+		t.Fatal("threshold failure did not trip")
+	}
+	if ok, _ := bs.Allow(key); ok {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+	if st := bs.States()[key]; st != "open" {
+		t.Fatalf("state = %q, want open", st)
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	clk.advance(1100 * time.Millisecond)
+	ok, probe := bs.Allow(key)
+	if !ok || !probe {
+		t.Fatalf("post-cooldown Allow = %v, %v, want probe", ok, probe)
+	}
+	if ok, _ := bs.Allow(key); ok {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe fails: re-open (counts as a trip), fresh cooldown.
+	if !bs.Failure(key) {
+		t.Fatal("failed probe did not re-trip")
+	}
+	if ok, _ := bs.Allow(key); ok {
+		t.Fatal("re-opened breaker allowed a request")
+	}
+
+	// Second probe succeeds: closed, streak reset.
+	clk.advance(1100 * time.Millisecond)
+	if ok, probe := bs.Allow(key); !ok || !probe {
+		t.Fatal("second probe not admitted")
+	}
+	bs.Success(key)
+	if ok, probe := bs.Allow(key); !ok || probe {
+		t.Fatalf("closed breaker Allow = %v, %v", ok, probe)
+	}
+	if st := bs.States()[key]; st != "closed" {
+		t.Fatalf("state after reset = %q", st)
+	}
+	snap := bs.Snapshot()
+	if snap.Trips != 2 || snap.Resets != 1 {
+		t.Errorf("trips/resets = %d/%d, want 2/1", snap.Trips, snap.Resets)
+	}
+
+	// Success resets a closed streak too.
+	bs.Failure(key)
+	bs.Success(key)
+	bs.Failure(key)
+	if st := bs.States()[key]; st != "closed(1 fails)" {
+		t.Fatalf("streak state = %q", st)
+	}
+	if len(bs.OpenKeys()) != 0 {
+		t.Errorf("OpenKeys = %v, want none", bs.OpenKeys())
+	}
+}
+
+// --------------------------------------------------------------------
+// Bundle
+// --------------------------------------------------------------------
+
+func TestBundleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b := &Bundle{
+		Key: "r2000/rase", Target: "r2000", Strategy: "rase",
+		Reason: "injected fault at serve (r2000/rase)", Failures: 3,
+		Options: BundleOptions{Workers: 2, Verify: true, BudgetMs: 50},
+	}
+	il := "module quarantine.il\n"
+	p1, err := WriteBundle(dir, b, il)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "r2000-rase-1" {
+		t.Errorf("bundle dir = %s", p1)
+	}
+	// A second trip gets its own numbered directory.
+	p2, err := WriteBundle(dir, b, il)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("second bundle overwrote the first")
+	}
+
+	got, gotIL, err := LoadBundle(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *b {
+		t.Errorf("bundle round trip: got %+v, want %+v", got, b)
+	}
+	if gotIL != il {
+		t.Errorf("IL round trip: %q", gotIL)
+	}
+	if _, _, err := LoadBundle(filepath.Join(dir, "nosuch")); err == nil {
+		t.Error("LoadBundle on a missing dir succeeded")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

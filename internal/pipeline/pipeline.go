@@ -172,6 +172,13 @@ type Config struct {
 	// (internal/faults); nil injects nothing.
 	Faults *faults.Set
 
+	// CacheOnly serves functions exclusively from the cache: a miss (or
+	// a disabled cache — nil Cache, or armed Faults) is reported as an
+	// ErrCacheOnlyMiss diagnostic instead of compiling. This is the
+	// server's deepest brownout level — under extreme overload mariond
+	// keeps answering for warm code at near-zero cost and sheds the rest.
+	CacheOnly bool
+
 	// Cache, when non-nil, is the content-addressed compilation cache:
 	// each function is looked up by (canonical IR fingerprint, machine
 	// fingerprint, config key) before any phase runs; a hit bypasses the
@@ -282,6 +289,12 @@ func (p *Pipeline) Run(ctx context.Context, m *mach.Machine, funcs []*ir.Func, c
 	return results, diags
 }
 
+// ErrCacheOnlyMiss is the diagnostic error recorded for every function
+// a CacheOnly run cannot serve from the cache. Callers distinguish it
+// (errors.Is) from real compile failures: the function is fine, the
+// server just declined to spend a compile on it right now.
+var ErrCacheOnlyMiss = errors.New("cache-only mode: not in cache")
+
 // keyParts carries the per-run cache key components; nil means the
 // cache is off for this run.
 type keyParts struct {
@@ -312,6 +325,11 @@ func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *i
 			phaseHist("cache").ObserveDuration(time.Since(start))
 			return res
 		}
+	}
+
+	if cfg.CacheOnly {
+		diags.Add(index, fn.Name, "cache", ErrCacheOnlyMiss)
+		return nil
 	}
 
 	rungs := []strategy.Kind{cfg.Strategy}

@@ -2,11 +2,14 @@ package pipeline_test
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
+	"marion/internal/cache"
 	"marion/internal/cc"
 	"marion/internal/ilgen"
+	"marion/internal/ir"
 	"marion/internal/pipeline"
 	"marion/internal/strategy"
 	"marion/internal/targets"
@@ -95,6 +98,79 @@ func TestRunCancelledContext(t *testing.T) {
 	}
 	if !strings.Contains(diags.Error(), "context canceled") {
 		t.Errorf("diagnostics should mention cancellation: %v", diags.Error())
+	}
+}
+
+// TestCacheOnly checks the deepest brownout level's contract: with a
+// warm cache every function is served without compiling; cold (or with
+// no cache at all) every function is refused with ErrCacheOnlyMiss.
+func TestCacheOnly(t *testing.T) {
+	m, err := targets.Load("r2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The glue transform mutates IL in place, so each run gets a freshly
+	// lowered module — cache keys fingerprint the pristine IR.
+	lower := func() *ir.Module {
+		t.Helper()
+		file, err := cc.Compile("two.c", twoFuncs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := ilgen.Lower(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mod
+	}
+	c, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.Config{Strategy: strategy.Postpass, Cache: c}
+
+	// Cold cache-only: nothing is compiled, every function misses.
+	coldCfg := cfg
+	coldCfg.CacheOnly = true
+	results, diags := pipeline.Backend().Run(context.Background(), m, lower().Funcs, coldCfg)
+	if diags.Empty() {
+		t.Fatal("cold cache-only run produced no diagnostics")
+	}
+	for _, d := range diags.All() {
+		if !errors.Is(d.Err, pipeline.ErrCacheOnlyMiss) {
+			t.Fatalf("diagnostic = %v, want ErrCacheOnlyMiss", d.Err)
+		}
+	}
+	for i, r := range results {
+		if r != nil {
+			t.Fatalf("cold cache-only compiled function %d", i)
+		}
+	}
+
+	// Warm the cache with a normal run, then cache-only must serve both
+	// functions entirely from it.
+	if _, diags := pipeline.Backend().Run(context.Background(), m, lower().Funcs, cfg); !diags.Empty() {
+		t.Fatalf("warming run failed: %v", diags.Err())
+	}
+	results, diags = pipeline.Backend().Run(context.Background(), m, lower().Funcs, coldCfg)
+	if err := diags.Err(); err != nil {
+		t.Fatalf("warm cache-only run failed: %v", err)
+	}
+	for i, r := range results {
+		if r == nil || r.Func == nil {
+			t.Fatalf("warm cache-only result %d missing", i)
+		}
+		if len(r.Timings) != 1 || r.Timings[0].Phase != "cache" {
+			t.Fatalf("result %d timings = %v, want a lone cache hit", i, r.Timings)
+		}
+	}
+
+	// No cache configured at all: cache-only still refuses cleanly.
+	noCache := coldCfg
+	noCache.Cache = nil
+	_, diags = pipeline.Backend().Run(context.Background(), m, lower().Funcs, noCache)
+	if diags.Empty() || !errors.Is(diags.All()[0].Err, pipeline.ErrCacheOnlyMiss) {
+		t.Fatalf("cacheless cache-only diagnostics = %v", diags.Err())
 	}
 }
 

@@ -72,6 +72,15 @@ type CompileResponse struct {
 	QueueMs float64 `json:"queue_ms"`
 	// ElapsedMs is the total server-side time, admission included.
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// BrownoutLevel is the overload-degradation level the request ran
+	// under (0 = normal; see overload.LevelString). Brownout lists what
+	// the ladder changed: verify disabled, strategy capped, cache-only.
+	BrownoutLevel int      `json:"brownout_level,omitempty"`
+	Brownout      []string `json:"brownout,omitempty"`
+	// BreakerReroute records that an open circuit breaker routed this
+	// request off its requested (target, strategy), e.g.
+	// "r2000/rase -> r2000/postpass".
+	BreakerReroute string `json:"breaker_reroute,omitempty"`
 }
 
 // Diag is one structured per-function failure.
@@ -87,6 +96,13 @@ type ErrorResponse struct {
 	// Diagnostics carries per-function failures (compile errors, budget
 	// exhaustion, deadline expiry) when the back end produced them.
 	Diagnostics []Diag `json:"diagnostics,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503
+	// answers: the server's computed estimate of when a retry could be
+	// admitted (queue depth x service-time estimate), never below 1.
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+	// BrownoutLevel is the degradation level at rejection time, so a
+	// shed client can tell plain overflow from deep brownout.
+	BrownoutLevel int `json:"brownout_level,omitempty"`
 }
 
 // Statz is the body of GET /statz: a point-in-time view of the
@@ -109,6 +125,26 @@ type Statz struct {
 	Shed     int64 `json:"shed"`
 	Expired  int64 `json:"expired"`
 	Failed   int64 `json:"failed"`
+
+	// Limit is the adaptive concurrency limiter's current limit (equal
+	// to Capacity when no SLO is configured); Pressure its 0..1 load
+	// scalar; EstimateMs the EWMA compile service-time estimate.
+	Limit      int     `json:"limit"`
+	Pressure   float64 `json:"pressure"`
+	EstimateMs float64 `json:"estimate_ms"`
+	// Evicted counts requests shed because their remaining deadline was
+	// below the service estimate (doomed-in-queue).
+	Evicted int64 `json:"evicted"`
+
+	// PressureLevel is the current brownout level (0 = normal); see
+	// overload.LevelString for names.
+	PressureLevel int `json:"pressure_level"`
+
+	// Breakers maps target/strategy to circuit-breaker state ("closed",
+	// "closed(n fails)", "open", "half-open"); absent keys never failed.
+	Breakers      map[string]string `json:"breakers,omitempty"`
+	BreakerTrips  int64             `json:"breaker_trips,omitempty"`
+	BreakerResets int64             `json:"breaker_resets,omitempty"`
 
 	Cache cache.Stats `json:"cache"`
 }

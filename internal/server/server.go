@@ -7,14 +7,29 @@
 // produced by any client serves every later client asking for the same
 // (canonical IR, machine, config) triple.
 //
-// Admission control is a bounded semaphore (Config.MaxInflight compile
-// slots) plus a bounded wait queue (Config.MaxQueue): a request beyond
-// both is shed immediately with 429 and a Retry-After header, so load
-// beyond capacity degrades to fast rejections instead of unbounded
-// queueing. Per-request deadlines (the X-Marion-Deadline-Ms header, or
-// Config.DefaultDeadline) propagate through context.Context into the
-// pipeline's budget/degradation machinery: an expired request returns
-// structured per-function diagnostics, never a hung connection.
+// Admission control is an adaptive concurrency limiter
+// (internal/overload): Config.MaxInflight seeds the limit, and with an
+// SLO configured, AIMD walks it against measured compile latency. The
+// bounded wait queue (Config.MaxQueue) sheds overflow with 429 and a
+// COMPUTED Retry-After (queue depth x EWMA service estimate), and
+// evicts queued requests whose remaining deadline is below the service
+// estimate — shed-before-doomed, so load beyond capacity degrades to
+// fast, honest rejections instead of unbounded queueing. Per-request
+// deadlines (the X-Marion-Deadline-Ms header, or Config.DefaultDeadline)
+// propagate through context.Context into the pipeline's
+// budget/degradation machinery: an expired request returns structured
+// per-function diagnostics, never a hung connection.
+//
+// Sustained pressure engages the brownout ladder (Config.Brownout):
+// verify off -> strategies capped at postpass -> safe only ->
+// cache-hits only, each level recorded in responses and /statz, and
+// recovered level by level with hysteresis once pressure falls.
+//
+// A per-(target, strategy) circuit breaker (Config.BreakerThreshold)
+// trips on repeated panics, budget exhaustions and injected server
+// faults, reroutes that combination down strategy.FallbackChain while
+// other combinations keep serving, and writes a replayable quarantine
+// bundle (Config.QuarantineDir) that `marionc -replay` reproduces.
 //
 // Graceful drain: BeginDrain flips /readyz to 503 and rejects new
 // compiles; the owner then lets http.Server.Shutdown finish in-flight
@@ -27,19 +42,24 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"marion/internal/budget"
 	"marion/internal/cache"
 	"marion/internal/driver"
+	"marion/internal/faults"
 	"marion/internal/iltext"
 	"marion/internal/ir"
 	"marion/internal/mach"
 	"marion/internal/metrics"
+	"marion/internal/overload"
 	"marion/internal/pipeline"
 	"marion/internal/strategy"
 	"marion/internal/targets"
@@ -78,6 +98,35 @@ type Config struct {
 	// Registry receives the server's instruments; nil means
 	// metrics.Default().
 	Registry *metrics.Registry
+
+	// SLO is the target compile latency driving the adaptive concurrency
+	// limiter: in-SLO completions grow the limit additively (up to
+	// 4*MaxInflight), breaches shrink it multiplicatively. Zero keeps
+	// the limit fixed at MaxInflight (the static-semaphore behavior).
+	SLO time.Duration
+	// Brownout enables the hysteretic degradation ladder driven by
+	// admission pressure; off, every request runs at full fidelity.
+	Brownout bool
+	// BreakerThreshold enables per-(target, strategy) circuit breakers:
+	// that many consecutive panics/budget exhaustions trip the
+	// combination open. 0 disables breakers entirely.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped combination stays open
+	// before one probe is admitted; <= 0 means 1s.
+	BreakerCooldown time.Duration
+	// QuarantineDir, when non-empty, receives a replayable bundle
+	// (config.json + input.il) for every breaker trip.
+	QuarantineDir string
+	// Faults arms server-level fault injection: the "serve" site fires
+	// around each admitted compile with the breaker key as the function
+	// name and the per-key request sequence as the index, so
+	// serve:err@fn=r2000/rase@max=3 fails exactly that key's first
+	// three requests. Pipeline-site entries are passed down to the back
+	// end as usual.
+	Faults *faults.Set
+	// Clock is the time source for brownout/breaker pacing (default
+	// time.Now), injectable for deterministic tests.
+	Clock func() time.Time
 }
 
 func (c *Config) fill() {
@@ -116,14 +165,29 @@ type Server struct {
 	mux      *http.ServeMux
 	start    time.Time
 
-	slots    chan struct{} // admission semaphore, cap MaxInflight
-	waiting  atomic.Int64  // requests blocked on slots
+	lim      *overload.Limiter  // adaptive admission controller
+	brown    *overload.Brownout // nil unless Config.Brownout
+	breakers *overload.Breakers // nil unless Config.BreakerThreshold > 0
 	draining atomic.Bool
 	warn     error // non-fatal setup problems (cache disk tier)
 
-	requests, accepted, shed *metrics.Counter
-	expired, failed          *metrics.Counter
-	compileSec, queueSec     *metrics.Histogram
+	// pipeFaults is the pipeline-site subset of Config.Faults, handed to
+	// the driver; serve-site-only specs must NOT reach the pipeline (an
+	// armed set disables the compilation cache, which would mask the
+	// cache-only brownout level under chaos).
+	pipeFaults *faults.Set
+
+	seqMu sync.Mutex
+	seq   map[string]int // per-breaker-key request sequence (fault index)
+
+	stop     chan struct{} // stops the brownout observer goroutine
+	stopOnce sync.Once
+
+	requests, accepted, shed  *metrics.Counter
+	expired, failed           *metrics.Counter
+	evictedC, rerouted, quarC *metrics.Counter
+	limitGauge, levelGauge    *metrics.Gauge
+	compileSec, queueSec      *metrics.Histogram
 }
 
 // New loads and finalizes every configured target exactly once (the
@@ -136,15 +200,39 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		machines: make(map[string]*mach.Machine, len(cfg.Targets)),
 		start:    time.Now(),
-		slots:    make(chan struct{}, cfg.MaxInflight),
+		seq:      map[string]int{},
+		lim: overload.NewLimiter(overload.LimiterConfig{
+			Initial:  cfg.MaxInflight,
+			SLO:      cfg.SLO,
+			MaxQueue: cfg.MaxQueue,
+		}),
 
 		requests:   cfg.Registry.Counter("server.requests"),
 		accepted:   cfg.Registry.Counter("server.accepted"),
 		shed:       cfg.Registry.Counter("server.shed"),
 		expired:    cfg.Registry.Counter("server.expired"),
 		failed:     cfg.Registry.Counter("server.failed"),
+		evictedC:   cfg.Registry.Counter("server.evicted"),
+		rerouted:   cfg.Registry.Counter("server.breaker.rerouted"),
+		quarC:      cfg.Registry.Counter("server.breaker.quarantined"),
+		limitGauge: cfg.Registry.Gauge("server.limit"),
+		levelGauge: cfg.Registry.Gauge("server.brownout.level"),
 		compileSec: cfg.Registry.Histogram("server.compile.seconds", metrics.TimeBuckets),
 		queueSec:   cfg.Registry.Histogram("server.queue.seconds", metrics.TimeBuckets),
+	}
+	s.limitGauge.Set(int64(s.lim.Limit()))
+	s.pipeFaults = pipelineFaults(cfg.Faults)
+	if cfg.Brownout {
+		s.brown = overload.NewBrownout(overload.BrownoutConfig{Clock: cfg.Clock})
+		s.stop = make(chan struct{})
+		go s.observeLoop()
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breakers = overload.NewBreakers(overload.BreakerConfig{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+			Clock:     cfg.Clock,
+		})
 	}
 	for _, t := range cfg.Targets {
 		m, err := targets.Load(t)
@@ -199,10 +287,73 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // Draining reports whether BeginDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close flushes the shared cache's disk tier (entries whose disk write
-// was lost are rewritten) and returns the number of entries flushed.
-// Call after in-flight requests have drained.
-func (s *Server) Close() int { return s.cache.Flush() }
+// Close stops the brownout observer, flushes the shared cache's disk
+// tier (entries whose disk write was lost are rewritten) and returns
+// the number of entries flushed. Call after in-flight requests have
+// drained.
+func (s *Server) Close() int {
+	if s.stop != nil {
+		s.stopOnce.Do(func() { close(s.stop) })
+	}
+	return s.cache.Flush()
+}
+
+// observeLoop feeds admission pressure into the brownout controller on
+// a fixed cadence, so recovery happens even when no requests arrive to
+// observe it.
+func (s *Server) observeLoop() {
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.levelGauge.Set(int64(s.brown.Observe(s.lim.Pressure())))
+			s.limitGauge.Set(int64(s.lim.Limit()))
+		}
+	}
+}
+
+// level is the current brownout level (0 when brownout is disabled).
+func (s *Server) level() int {
+	if s.brown == nil {
+		return 0
+	}
+	return s.brown.Level()
+}
+
+// nextSeq returns and advances the per-breaker-key request sequence
+// number — the serve fault site's index.
+func (s *Server) nextSeq(key string) int {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	n := s.seq[key]
+	s.seq[key] = n + 1
+	return n
+}
+
+// pipelineFaults extracts the pipeline-site subset of an armed fault
+// set; nil when nothing remains.
+func pipelineFaults(set *faults.Set) *faults.Set {
+	if set.Empty() {
+		return nil
+	}
+	pipe := map[string]bool{}
+	for _, site := range faults.Sites() {
+		pipe[site] = true
+	}
+	out := &faults.Set{}
+	for _, f := range set.Faults {
+		if pipe[f.Site] {
+			out.Faults = append(out.Faults, f)
+		}
+	}
+	if len(out.Faults) == 0 {
+		return nil
+	}
+	return out
+}
 
 // ---------------------------------------------------------------------
 // Handlers
@@ -222,7 +373,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterSeconds(s.lim.RetryAfter()))
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -230,12 +381,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	snap := s.lim.Snapshot()
 	st := Statz{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Targets:       s.cfg.Targets,
 		Draining:      s.draining.Load(),
-		Inflight:      len(s.slots),
-		Queued:        int(s.waiting.Load()),
+		Inflight:      snap.Inflight,
+		Queued:        snap.Queued,
 		Capacity:      s.cfg.MaxInflight,
 		QueueLimit:    s.cfg.MaxQueue,
 		Requests:      s.requests.Value(),
@@ -243,7 +395,17 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		Shed:          s.shed.Value(),
 		Expired:       s.expired.Value(),
 		Failed:        s.failed.Value(),
+		Limit:         snap.Limit,
+		Pressure:      snap.Pressure,
+		EstimateMs:    snap.EstimateSeconds * 1000,
+		Evicted:       snap.Evicted,
+		PressureLevel: s.level(),
 		Cache:         s.cache.Stats(),
+	}
+	if s.breakers != nil {
+		st.Breakers = s.breakers.States()
+		bs := s.breakers.Snapshot()
+		st.BreakerTrips, st.BreakerResets = bs.Trips, bs.Resets
 	}
 	writeJSON(w, http.StatusOK, st)
 }
@@ -257,8 +419,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
-		s.fail(w, http.StatusServiceUnavailable, "draining", nil)
+		s.reject(w, http.StatusServiceUnavailable, "draining", nil)
 		return
 	}
 
@@ -299,22 +460,40 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	// Admission: a free slot admits immediately; otherwise wait in the
-	// bounded queue or shed.
+	// bounded queue, be shed (queue full, or doomed: remaining deadline
+	// below the service estimate), or expire while queued.
 	queued := time.Now()
-	release, status := s.acquire(ctx)
+	release, dec := s.lim.Acquire(ctx)
 	s.queueSec.ObserveDuration(time.Since(queued))
-	if status != 0 {
-		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
-			s.shed.Inc()
-			s.fail(w, status, "over capacity, retry later", nil)
-		} else {
-			s.expired.Inc()
-			s.fail(w, status, "deadline expired while queued", nil)
-		}
+	switch dec {
+	case overload.ShedFull:
+		s.shed.Inc()
+		s.reject(w, http.StatusTooManyRequests, "over capacity, retry later", nil)
+		return
+	case overload.ShedDoomed:
+		s.shed.Inc()
+		s.evictedC.Inc()
+		s.reject(w, http.StatusTooManyRequests,
+			"remaining deadline below the service estimate; shed instead of queued", nil)
+		return
+	case overload.Expired:
+		s.expired.Inc()
+		s.fail(w, http.StatusGatewayTimeout, "deadline expired while queued", nil)
 		return
 	}
-	defer release()
+	// The SLO sample: ok unless the request's own deadline cut it off.
+	// Registered before cancel() in LIFO order, so it reads ctx before
+	// our own deferred cancel fires.
+	defer func() { release(ctx.Err() == nil) }()
+	s.limitGauge.Set(int64(s.lim.Limit()))
+
+	// Brownout: the level observed at admission decides how much
+	// fidelity this request gets.
+	lvl := 0
+	if s.brown != nil {
+		lvl = s.brown.Observe(s.lim.Pressure())
+		s.levelGauge.Set(int64(lvl))
+	}
 
 	mod, status, lerr := s.lower(&req)
 	if lerr != nil {
@@ -327,14 +506,44 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if opts == nil {
 		opts = &CompileOptions{}
 	}
+	effective, verifyOn, cacheOnly, notes := applyBrownout(lvl, kind, opts.Verify)
+
+	// Circuit breaker: an open (target, strategy) reroutes down the
+	// fallback chain to the first healthy rung.
+	bkey := overload.Key(req.Target, effective.String())
+	reroute := ""
+	if s.breakers != nil {
+		if allowed, _ := s.breakers.Allow(bkey); !allowed {
+			orig := bkey
+			found := false
+			for _, rung := range strategy.FallbackChain(effective) {
+				k := overload.Key(req.Target, rung.String())
+				if ok, _ := s.breakers.Allow(k); ok {
+					effective, bkey, found = rung, k, true
+					break
+				}
+			}
+			if !found {
+				s.failed.Inc()
+				s.reject(w, http.StatusServiceUnavailable,
+					"every strategy for this target is circuit-broken, retry later", nil)
+				return
+			}
+			reroute = orig + " -> " + bkey
+			s.rerouted.Inc()
+		}
+	}
+
 	dcfg := driver.Config{
-		Strategy:     kind,
+		Strategy:     effective,
 		Workers:      s.cfg.Workers,
-		Verify:       opts.Verify,
+		Verify:       verifyOn,
 		Strict:       opts.Strict,
 		Budget:       s.cfg.Budget,
 		LinearSelect: opts.LinearSelect,
 		Cache:        s.cache,
+		CacheOnly:    cacheOnly,
+		Faults:       s.pipeFaults,
 	}
 	if opts.Workers > 0 {
 		dcfg.Workers = opts.Workers
@@ -343,9 +552,35 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		dcfg.Budget = time.Duration(opts.BudgetMs) * time.Millisecond
 	}
 
-	res, cerr := driver.CompileModuleCtx(ctx, m, mod, dcfg)
+	// Capture replay state only when the next failure could trip the
+	// breaker: the module is still pristine here (the glue transform
+	// mutates it in place during the compile).
+	quarIL := ""
+	if s.breakers != nil && s.cfg.QuarantineDir != "" && s.breakers.AtRisk(bkey) {
+		quarIL = iltext.Print(mod)
+	}
+
+	res, cerr := s.compileGuarded(ctx, m, mod, dcfg, bkey)
+	if s.breakers != nil {
+		if relevant := breakerRelevant(cerr); relevant {
+			if s.breakers.Failure(bkey) && quarIL != "" {
+				s.quarantine(bkey, req.Target, effective, dcfg, quarIL, cerr)
+			}
+		} else {
+			// Anything else — success, a user error, a client deadline —
+			// resolves the attempt so a half-open probe can never wedge.
+			s.breakers.Success(bkey)
+		}
+	}
 	if cerr != nil {
 		diags := toDiags(cerr)
+		if cacheOnly && cacheOnlyMiss(cerr) {
+			// Deepest brownout level: only warm functions are served.
+			s.shed.Inc()
+			s.reject(w, http.StatusTooManyRequests,
+				"brownout cache-only: not in cache, retry later", diags)
+			return
+		}
 		if ctx.Err() != nil {
 			// The request deadline (or a gone client) interrupted the
 			// back end: the structured per-function diagnostics say
@@ -355,7 +590,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.failed.Inc()
-		s.fail(w, http.StatusUnprocessableEntity, "compile failed", diags)
+		msg := "compile failed"
+		if len(diags) == 0 {
+			// Not a per-function diagnostic (a serve-level fault or
+			// panic): the error itself is the only detail there is.
+			msg = "compile failed: " + cerr.Error()
+		}
+		s.fail(w, http.StatusUnprocessableEntity, msg, diags)
 		return
 	}
 
@@ -363,13 +604,16 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(started)
 	s.compileSec.ObserveDuration(elapsed)
 	resp := &CompileResponse{
-		Target:       req.Target,
-		Strategy:     kind.String(),
-		Assembly:     res.Prog.Print(),
-		Stats:        res.Stats,
-		RetrySeconds: res.RetryTime.Seconds(),
-		QueueMs:      float64(time.Since(queued).Milliseconds()),
-		ElapsedMs:    float64(elapsed) / float64(time.Millisecond),
+		Target:         req.Target,
+		Strategy:       effective.String(),
+		Assembly:       res.Prog.Print(),
+		Stats:          res.Stats,
+		RetrySeconds:   res.RetryTime.Seconds(),
+		QueueMs:        float64(time.Since(queued).Milliseconds()),
+		ElapsedMs:      float64(elapsed) / float64(time.Millisecond),
+		BrownoutLevel:  lvl,
+		Brownout:       notes,
+		BreakerReroute: reroute,
 	}
 	for _, d := range res.Degradations {
 		resp.Degradations = append(resp.Degradations, d.String())
@@ -388,29 +632,165 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// acquire takes an admission slot. It returns a release func and 0 on
-// success, or a non-zero HTTP status: 429 when the wait queue is full,
-// 504 when the request deadline expired while queued.
-func (s *Server) acquire(ctx context.Context) (func(), int) {
-	select {
-	case s.slots <- struct{}{}:
-		return s.release, 0
-	default:
+// applyBrownout maps a brownout level onto one request's fidelity:
+// which strategy actually runs, whether verify runs, and whether only
+// cache hits are served. The returned notes name each cut for the
+// response body.
+func applyBrownout(lvl int, kind strategy.Kind, verify bool) (strategy.Kind, bool, bool, []string) {
+	var notes []string
+	if lvl >= overload.LevelNoVerify && verify {
+		verify = false
+		notes = append(notes, "verify disabled")
 	}
-	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
-		s.waiting.Add(-1)
-		return nil, http.StatusTooManyRequests
+	switch {
+	case lvl >= overload.LevelCacheOnly:
+		// Cache keys include the strategy, so the REQUESTED strategy is
+		// kept: that is what earlier full-fidelity compiles cached under.
+		notes = append(notes, "cache-only")
+		return kind, verify, true, notes
+	case lvl >= overload.LevelSafe:
+		if kind != strategy.Safe {
+			notes = append(notes, "strategy forced "+kind.String()+" -> "+strategy.Safe.String())
+			kind = strategy.Safe
+		}
+	case lvl >= overload.LevelCheapStrategy:
+		if cheaper := capStrategy(kind); cheaper != kind {
+			notes = append(notes, "strategy capped "+kind.String()+" -> "+cheaper.String())
+			kind = cheaper
+		}
 	}
-	defer s.waiting.Add(-1)
-	select {
-	case s.slots <- struct{}{}:
-		return s.release, 0
-	case <-ctx.Done():
-		return nil, http.StatusGatewayTimeout
-	}
+	return kind, verify, false, notes
 }
 
-func (s *Server) release() { <-s.slots }
+// capStrategy caps expensive strategies at postpass (the cheap-strategy
+// brownout level); already-cheap kinds pass through.
+func capStrategy(k strategy.Kind) strategy.Kind {
+	switch k {
+	case strategy.RASE, strategy.IPS, strategy.Local:
+		return strategy.Postpass
+	}
+	return k
+}
+
+// compileGuarded runs one admitted compile with the server-level fault
+// site and last-resort panic isolation (the pipeline already isolates
+// phase panics; this guard covers the serve site and anything outside
+// the pipeline's recover).
+func (s *Server) compileGuarded(ctx context.Context, m *mach.Machine, mod *ir.Module, dcfg driver.Config, key string) (res *driver.Compiled, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &servePanicError{val: r}
+		}
+	}()
+	if !s.cfg.Faults.Empty() {
+		inj := faults.New(s.cfg.Faults, ctx, key, s.nextSeq(key), 0)
+		if ferr := inj.Fire("serve"); ferr != nil {
+			return nil, ferr
+		}
+	}
+	return driver.CompileModuleCtx(ctx, m, mod, dcfg)
+}
+
+// servePanicError is a panic recovered at the serve level, wrapped so
+// breakerRelevant can classify it.
+type servePanicError struct{ val any }
+
+func (e *servePanicError) Error() string {
+	return fmt.Sprintf("panic while serving compile: %v", e.val)
+}
+
+// breakerRelevant classifies a compile failure for the circuit
+// breaker: panics, budget exhaustions and injected server faults are
+// service faults that count toward a trip; user errors, client
+// deadlines and cache-only misses are not.
+func breakerRelevant(err error) bool {
+	if err == nil {
+		return false
+	}
+	var sp *servePanicError
+	if errors.As(err, &sp) {
+		return true
+	}
+	var inj *faults.InjectedError
+	if errors.As(err, &inj) {
+		return true
+	}
+	var diags *pipeline.Diagnostics
+	if errors.As(err, &diags) {
+		for _, d := range diags.All() {
+			var pe *pipeline.PanicError
+			if errors.As(d.Err, &pe) {
+				return true
+			}
+			if errors.Is(d.Err, budget.ErrExceeded) {
+				return true
+			}
+			if errors.As(d.Err, &inj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cacheOnlyMiss reports whether a compile failed purely because the
+// cache-only brownout level had no entries to serve.
+func cacheOnlyMiss(err error) bool {
+	var diags *pipeline.Diagnostics
+	if !errors.As(err, &diags) {
+		return false
+	}
+	for _, d := range diags.All() {
+		if !errors.Is(d.Err, pipeline.ErrCacheOnlyMiss) {
+			return false
+		}
+	}
+	return true
+}
+
+// quarantine writes the replayable bundle for a breaker trip.
+func (s *Server) quarantine(key, target string, kind strategy.Kind, dcfg driver.Config, il string, reason error) {
+	s.quarC.Inc()
+	_, _ = overload.WriteBundle(s.cfg.QuarantineDir, &overload.Bundle{
+		Key:      key,
+		Target:   target,
+		Strategy: kind.String(),
+		Reason:   reason.Error(),
+		Failures: s.cfg.BreakerThreshold,
+		Options: overload.BundleOptions{
+			Workers:      dcfg.Workers,
+			Verify:       dcfg.Verify,
+			Strict:       dcfg.Strict,
+			LinearSelect: dcfg.LinearSelect,
+			BudgetMs:     dcfg.Budget.Milliseconds(),
+		},
+	}, il)
+}
+
+// reject answers a load-shedding status (429/503) with the computed
+// Retry-After in both the header and the JSON body.
+func (s *Server) reject(w http.ResponseWriter, status int, msg string, diags []Diag) {
+	ra := s.lim.RetryAfter()
+	secs := retryAfterSeconds(ra)
+	w.Header().Set("Retry-After", secs)
+	n, _ := strconv.Atoi(secs)
+	writeJSON(w, status, &ErrorResponse{
+		Error:             msg,
+		Diagnostics:       diags,
+		RetryAfterSeconds: float64(n),
+		BrownoutLevel:     s.level(),
+	})
+}
+
+// retryAfterSeconds renders a Retry-After duration as whole seconds,
+// rounded up, floor 1 (the header's granularity).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
 
 // lower turns request source into an IL module per the request
 // language.
@@ -453,8 +833,17 @@ func toDiags(err error) []Diag {
 	return out
 }
 
+// fail answers a compile failure. A 504 (deadline expired) also
+// carries the computed Retry-After hint and brownout level in the
+// body: the same request may well succeed once load clears.
 func (s *Server) fail(w http.ResponseWriter, status int, msg string, diags []Diag) {
-	writeJSON(w, status, &ErrorResponse{Error: msg, Diagnostics: diags})
+	resp := &ErrorResponse{Error: msg, Diagnostics: diags}
+	if status == http.StatusGatewayTimeout {
+		n, _ := strconv.Atoi(retryAfterSeconds(s.lim.RetryAfter()))
+		resp.RetryAfterSeconds = float64(n)
+		resp.BrownoutLevel = s.level()
+	}
+	writeJSON(w, status, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -9,11 +9,14 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"marion/internal/driver"
+	"marion/internal/faults"
 	"marion/internal/metrics"
+	"marion/internal/overload"
 	"marion/internal/strategy"
 )
 
@@ -179,17 +182,29 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// occupySlot takes the server's admission slot directly through the
+// limiter, returning its release; tests use it to force queueing
+// deterministically.
+func occupySlot(t *testing.T, s *Server) func(bool) {
+	t.Helper()
+	rel, dec := s.lim.Acquire(context.Background())
+	if dec != overload.Admitted {
+		t.Fatalf("could not occupy slot: %v", dec)
+	}
+	return rel
+}
+
 // TestAdmissionShed fills the only compile slot and the whole wait
 // queue, then requires the next request to be shed with 429 and a
 // Retry-After header — deterministically, no timing involved.
 func TestAdmissionShed(t *testing.T) {
 	s := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 1})
-	s.slots <- struct{}{} // occupy the only slot
+	rel := occupySlot(t, s)
 
 	req := CompileRequest{Source: addC, Target: "r2000"}
 	queued := make(chan *httptest.ResponseRecorder)
 	go func() { queued <- post(t, s, req, nil) }()
-	waitFor(t, func() bool { return s.waiting.Load() == 1 })
+	waitFor(t, func() bool { return s.lim.Queued() == 1 })
 
 	w := post(t, s, req, nil)
 	if w.Code != http.StatusTooManyRequests {
@@ -198,8 +213,11 @@ func TestAdmissionShed(t *testing.T) {
 	if w.Header().Get("Retry-After") == "" {
 		t.Error("429 without Retry-After header")
 	}
+	if resp := decode[ErrorResponse](t, w); resp.RetryAfterSeconds < 1 {
+		t.Errorf("429 body retry_after_seconds = %v, want >= 1", resp.RetryAfterSeconds)
+	}
 
-	<-s.slots // free the slot; the queued request proceeds
+	rel(true) // free the slot; the queued request proceeds
 	if w := <-queued; w.Code != http.StatusOK {
 		t.Fatalf("queued request: status %d, want 200: %s", w.Code, w.Body.String())
 	}
@@ -209,19 +227,60 @@ func TestAdmissionShed(t *testing.T) {
 }
 
 // TestQueuedDeadline parks a request in the wait queue past its
-// deadline and requires a structured 504, not a hang.
+// deadline and requires a structured 504, not a hang. (With no service
+// samples yet the estimate is zero, so doomed-shedding stays out of
+// the way — the request genuinely queues and expires.)
 func TestQueuedDeadline(t *testing.T) {
 	s := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 4})
-	s.slots <- struct{}{}
-	defer func() { <-s.slots }()
+	rel := occupySlot(t, s)
+	defer rel(true)
 
 	w := post(t, s, CompileRequest{Source: addC, Target: "r2000"},
 		map[string]string{DeadlineHeader: "30"})
 	if w.Code != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504: %s", w.Code, w.Body.String())
 	}
-	if resp := decode[ErrorResponse](t, w); !strings.Contains(resp.Error, "queued") {
+	resp := decode[ErrorResponse](t, w)
+	if !strings.Contains(resp.Error, "queued") {
 		t.Errorf("error %q does not mention queueing", resp.Error)
+	}
+	if resp.RetryAfterSeconds < 1 {
+		t.Errorf("504 body retry_after_seconds = %v, want >= 1", resp.RetryAfterSeconds)
+	}
+}
+
+// TestDoomedShed primes the service-time estimate well above a tiny
+// request deadline: the request must be shed up front with 429 and a
+// computed Retry-After hint, NOT parked until a 504 — the whole point
+// of deadline-aware eviction.
+func TestDoomedShed(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 4})
+	s.lim.Prime(2 * time.Second) // est >> the 30ms deadline below
+	rel := occupySlot(t, s)
+	defer rel(true)
+
+	start := time.Now()
+	w := post(t, s, CompileRequest{Source: addC, Target: "r2000"},
+		map[string]string{DeadlineHeader: "30"})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("doomed request: status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("doomed request waited %v before shedding; want immediate", elapsed)
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want computed >= 1", ra)
+	}
+	resp := decode[ErrorResponse](t, w)
+	if resp.RetryAfterSeconds < 2 {
+		// est 2s, one queued slot -> at least the estimate itself.
+		t.Errorf("retry_after_seconds = %v, want >= 2 (est-based)", resp.RetryAfterSeconds)
+	}
+	if !strings.Contains(resp.Error, "shed") {
+		t.Errorf("error %q does not explain the shed", resp.Error)
+	}
+	if s.lim.Evicted() != 1 {
+		t.Errorf("evicted = %d, want 1", s.lim.Evicted())
 	}
 }
 
@@ -254,10 +313,10 @@ func TestDrain(t *testing.T) {
 	s := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 4, CacheDir: dir})
 	req := CompileRequest{Source: addC, Filename: "add.c", Target: "r2000"}
 
-	s.slots <- struct{}{} // make the next request queue after admission
+	rel := occupySlot(t, s) // make the next request queue after admission
 	inflight := make(chan *httptest.ResponseRecorder)
 	go func() { inflight <- post(t, s, req, nil) }()
-	waitFor(t, func() bool { return s.waiting.Load() == 1 })
+	waitFor(t, func() bool { return s.lim.Queued() == 1 })
 
 	s.BeginDrain()
 
@@ -273,7 +332,7 @@ func TestDrain(t *testing.T) {
 		t.Errorf("healthz while draining: status %d, want 200", w.Code)
 	}
 
-	<-s.slots // the admitted request now runs to completion
+	rel(true) // the admitted request now runs to completion
 	if w := <-inflight; w.Code != http.StatusOK {
 		t.Fatalf("in-flight request during drain: status %d, want 200: %s", w.Code, w.Body.String())
 	}
@@ -309,6 +368,12 @@ func TestStatzAndAux(t *testing.T) {
 	if st.Capacity <= 0 || len(st.Targets) == 0 {
 		t.Errorf("statz missing config echo: %+v", st)
 	}
+	if st.Limit != st.Capacity {
+		t.Errorf("statz limit = %d, want the static capacity %d without an SLO", st.Limit, st.Capacity)
+	}
+	if st.PressureLevel != 0 || st.Pressure < 0 || st.Pressure > 1 {
+		t.Errorf("statz pressure fields: level %d, pressure %v", st.PressureLevel, st.Pressure)
+	}
 	if st.Cache.Stores < 1 {
 		t.Errorf("statz cache stats not wired: %+v", st.Cache)
 	}
@@ -326,6 +391,212 @@ func TestStatzAndAux(t *testing.T) {
 	}
 	if w := get(s, "/nosuch"); w.Code != http.StatusNotFound {
 		t.Errorf("unknown path: status %d, want 404", w.Code)
+	}
+}
+
+// fixedClock never advances: brownout hysteresis can neither raise nor
+// lower a Force()d level, and breakers never leave Open by cooldown.
+func fixedClock() func() time.Time {
+	t0 := time.Now()
+	return func() time.Time { return t0 }
+}
+
+// stepClock is an advanceable clock for driving breaker cooldowns
+// deterministically.
+type stepClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *stepClock) time() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *stepClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// TestBrownoutLadder forces each level and checks what the request
+// loses — verify, then expensive strategies, then compilation itself
+// (cache-only) — with every cut named in the response.
+func TestBrownoutLadder(t *testing.T) {
+	s := newTestServer(t, Config{Brownout: true, Clock: fixedClock()})
+	defer s.Close()
+	req := CompileRequest{Source: addC, Filename: "add.c", Target: "r2000",
+		Strategy: "rase", Options: &CompileOptions{Verify: true}}
+
+	// Level 0: full fidelity.
+	w := post(t, s, req, nil)
+	resp := decode[CompileResponse](t, w)
+	if w.Code != 200 || resp.BrownoutLevel != 0 || len(resp.Brownout) != 0 {
+		t.Fatalf("level 0: code %d, resp %+v", w.Code, resp)
+	}
+	if resp.Strategy != "rase" {
+		t.Fatalf("level 0 strategy = %q", resp.Strategy)
+	}
+
+	// Level 1: verify is dropped, the strategy is kept.
+	s.brown.Force(overload.LevelNoVerify)
+	resp = decode[CompileResponse](t, post(t, s, req, nil))
+	if resp.BrownoutLevel != 1 || resp.Strategy != "rase" {
+		t.Fatalf("level 1: %+v", resp)
+	}
+	if len(resp.Brownout) != 1 || !strings.Contains(resp.Brownout[0], "verify") {
+		t.Fatalf("level 1 notes = %v", resp.Brownout)
+	}
+
+	// Level 2: expensive strategies are capped at postpass.
+	s.brown.Force(overload.LevelCheapStrategy)
+	resp = decode[CompileResponse](t, post(t, s, req, nil))
+	if resp.Strategy != "postpass" {
+		t.Fatalf("level 2 strategy = %q, want postpass (%v)", resp.Strategy, resp.Brownout)
+	}
+
+	// Level 3: everything runs safe.
+	s.brown.Force(overload.LevelSafe)
+	resp = decode[CompileResponse](t, post(t, s, req, nil))
+	if resp.Strategy != "safe" {
+		t.Fatalf("level 3 strategy = %q, want safe", resp.Strategy)
+	}
+
+	// Level 4: only cache hits are served. addC was compiled as rase at
+	// level 0, so the identical request is a hit; a cold unit is shed.
+	s.brown.Force(overload.LevelCacheOnly)
+	w = post(t, s, req, nil)
+	resp = decode[CompileResponse](t, w)
+	if w.Code != 200 {
+		t.Fatalf("level 4 warm request: code %d: %s", w.Code, w.Body.String())
+	}
+	if resp.Strategy != "rase" || resp.BrownoutLevel != 4 {
+		t.Fatalf("level 4 warm: %+v", resp)
+	}
+	cold := req
+	cold.Source = "int coldfn(int x) { return x - 7; }"
+	w = post(t, s, cold, nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("level 4 cold request: code %d, want 429: %s", w.Code, w.Body.String())
+	}
+	er := decode[ErrorResponse](t, w)
+	if er.BrownoutLevel != 4 || er.RetryAfterSeconds < 1 {
+		t.Fatalf("level 4 cold rejection: %+v", er)
+	}
+
+	// Statz reports the level.
+	if st := decode[Statz](t, get(s, "/statz")); st.PressureLevel != 4 {
+		t.Fatalf("statz pressure_level = %d, want 4", st.PressureLevel)
+	}
+}
+
+// TestBreakerTripRerouteReset drives one (target, strategy) through the
+// whole breaker lifecycle with deterministically injected serve faults:
+// two failures trip it, the next request reroutes down the fallback
+// chain while another target stays untouched, the cooldown admits one
+// probe, and the probe's success closes the breaker.
+func TestBreakerTripRerouteReset(t *testing.T) {
+	clk := &stepClock{now: time.Now()}
+	fset, err := faults.Parse("serve:err@fn=r2000/rase@max=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qdir := t.TempDir()
+	s := newTestServer(t, Config{
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		QuarantineDir:    qdir,
+		Faults:           fset,
+		Clock:            clk.time,
+	})
+	rase := CompileRequest{Source: addC, Filename: "add.c", Target: "r2000", Strategy: "rase"}
+
+	// Failures one and two: injected serve faults; the second trips.
+	for i := 0; i < 2; i++ {
+		if w := post(t, s, rase, nil); w.Code != http.StatusUnprocessableEntity {
+			t.Fatalf("faulted request %d: code %d: %s", i, w.Code, w.Body.String())
+		}
+	}
+	st := decode[Statz](t, get(s, "/statz"))
+	if st.Breakers["r2000/rase"] != "open" || st.BreakerTrips != 1 {
+		t.Fatalf("after trip: %+v", st.Breakers)
+	}
+
+	// The trip wrote a replayable quarantine bundle.
+	b, il, err := overload.LoadBundle(filepath.Join(qdir, "r2000-rase-1"))
+	if err != nil {
+		t.Fatalf("quarantine bundle: %v", err)
+	}
+	if b.Key != "r2000/rase" || b.Strategy != "rase" || !strings.Contains(b.Reason, "injected") {
+		t.Fatalf("bundle = %+v", b)
+	}
+	if rep, err := driver.CompileIL("replay.il", il, driver.Config{
+		Target: b.Target, Strategy: strategy.RASE,
+	}); err != nil || len(rep.Prog.Funcs) == 0 {
+		t.Fatalf("bundle does not replay: %v", err)
+	}
+
+	// While open, rase requests reroute down the chain; the compile
+	// still succeeds, under ips, and says so.
+	w := post(t, s, rase, nil)
+	resp := decode[CompileResponse](t, w)
+	if w.Code != 200 || resp.Strategy != "ips" {
+		t.Fatalf("rerouted request: code %d, strategy %q", w.Code, resp.Strategy)
+	}
+	if resp.BreakerReroute != "r2000/rase -> r2000/ips" {
+		t.Fatalf("reroute note = %q", resp.BreakerReroute)
+	}
+
+	// Other targets with the same strategy are unaffected.
+	other := rase
+	other.Target = "m88000"
+	if resp := decode[CompileResponse](t, post(t, s, other, nil)); resp.Strategy != "rase" || resp.BreakerReroute != "" {
+		t.Fatalf("m88000/rase affected by r2000/rase breaker: %+v", resp)
+	}
+
+	// Cooldown elapses: the next rase request is the probe. The fault's
+	// @max=2 is spent (this is r2000/rase's third serve), so it
+	// succeeds and closes the breaker.
+	clk.advance(2 * time.Minute)
+	resp = decode[CompileResponse](t, post(t, s, rase, nil))
+	if resp.Strategy != "rase" || resp.BreakerReroute != "" {
+		t.Fatalf("probe request: %+v", resp)
+	}
+	st = decode[Statz](t, get(s, "/statz"))
+	if st.Breakers["r2000/rase"] != "closed" || st.BreakerResets != 1 {
+		t.Fatalf("after probe: %v trips=%d resets=%d", st.Breakers, st.BreakerTrips, st.BreakerResets)
+	}
+
+	// Closed again: requests run the requested strategy directly.
+	if resp := decode[CompileResponse](t, post(t, s, rase, nil)); resp.Strategy != "rase" {
+		t.Fatalf("post-reset request: %+v", resp)
+	}
+}
+
+// TestBreakerAllTripped trips safe itself (the last rung) and requires
+// a 503 with a retry hint instead of an infinite reroute hunt.
+func TestBreakerAllTripped(t *testing.T) {
+	fset, err := faults.Parse("serve:err@fn=r2000/safe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+		Faults:           fset,
+		Clock:            fixedClock(),
+	})
+	safe := CompileRequest{Source: addC, Target: "r2000", Strategy: "safe"}
+	if w := post(t, s, safe, nil); w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("tripping request: code %d", w.Code)
+	}
+	w := post(t, s, safe, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("all-tripped request: code %d, want 503: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
 	}
 }
 
