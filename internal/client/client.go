@@ -140,7 +140,20 @@ func (c *Client) Compile(ctx context.Context, req *server.CompileRequest, deadli
 			if resp.StatusCode == http.StatusTooManyRequests {
 				res.Sheds++
 			}
-			retryAfter := decodeInto(res, resp)
+			retryAfter, derr := decodeInto(res, resp)
+			if derr != nil {
+				// The success body died mid-read (connection reset or
+				// truncation): treat the attempt like a transport failure.
+				lastErr = derr
+				if ctx.Err() != nil || attempt >= c.cfg.MaxRetries {
+					return nil, fmt.Errorf("compile: %w", lastErr)
+				}
+				if werr := c.sleep(ctx, c.backoff(attempt, 0)); werr != nil {
+					return nil, fmt.Errorf("compile: %w", lastErr)
+				}
+				res.Retries++
+				continue
+			}
 			if !Retryable(resp.StatusCode) || attempt >= c.cfg.MaxRetries {
 				return res, nil
 			}
@@ -209,16 +222,14 @@ func (c *Client) send(ctx context.Context, body []byte, deadline time.Duration) 
 	inflight := 1
 	select {
 	case a := <-ch:
-		defer a.cancel()
-		return a.resp, a.hedge, a.err
+		return a.claim(), a.hedge, a.err
 	case <-timer.C:
 		launch(true)
 		inflight = 2
 	case <-ctx.Done():
 		// The primary will resolve (with ctx's error) shortly; drain it
-		// so its cancel runs.
-		a := <-ch
-		a.cancel()
+		// so its cancel runs and any raced-in response body is closed.
+		drainCancel(ch, 1)
 		return nil, false, ctx.Err()
 	}
 
@@ -231,8 +242,7 @@ func (c *Client) send(ctx context.Context, body []byte, deadline time.Duration) 
 			// Cancel the loser lazily: its own answer still lands in ch
 			// (buffered), and garbage collection of the channel drops it.
 			go drainCancel(ch, inflight-i-1)
-			defer a.cancel()
-			return a.resp, a.hedge, a.err
+			return a.claim(), a.hedge, a.err
 		}
 		a.cancel()
 		if firstErr == nil {
@@ -249,6 +259,33 @@ type answer struct {
 	err    error
 	hedge  bool
 	cancel context.CancelFunc
+}
+
+// claim hands the winning answer's response to the caller with its
+// request context kept alive until the body is closed: cancelling at
+// selection time would abort any body bytes not yet received (the
+// Response arrives at header receipt, the payload streams after). A
+// response-less answer cancels immediately.
+func (a answer) claim() *http.Response {
+	if a.resp == nil {
+		a.cancel()
+		return nil
+	}
+	a.resp.Body = cancelOnClose{a.resp.Body, a.cancel}
+	return a.resp
+}
+
+// cancelOnClose releases a hedged request's context when its response
+// body is closed.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b cancelOnClose) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
 }
 
 // drainCancel consumes the remaining n answers and cancels them.
@@ -277,17 +314,24 @@ func (c *Client) post(ctx context.Context, body []byte, deadline time.Duration) 
 
 // decodeInto consumes the response body into the Result and returns
 // the server's Retry-After hint (header first, JSON hint as fallback),
-// zero when absent.
-func decodeInto(res *Result, resp *http.Response) time.Duration {
+// zero when absent. A 200 whose body could not be read or decoded
+// returns a non-nil error — the attempt is as dead as a transport
+// failure and the caller should retry it; error bodies decode
+// best-effort (a truncated message still beats none).
+func decodeInto(res *Result, resp *http.Response) (time.Duration, error) {
 	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if resp.StatusCode == http.StatusOK {
-		cr := &server.CompileResponse{}
-		if json.Unmarshal(body, cr) == nil {
-			res.Resp = cr
-		}
 		res.ErrBody = nil
-		return 0
+		if rerr != nil {
+			return 0, fmt.Errorf("reading response body: %w", rerr)
+		}
+		cr := &server.CompileResponse{}
+		if derr := json.Unmarshal(body, cr); derr != nil {
+			return 0, fmt.Errorf("decoding response body: %w", derr)
+		}
+		res.Resp = cr
+		return 0, nil
 	}
 	res.Resp = nil
 	er := &server.ErrorResponse{}
@@ -298,13 +342,13 @@ func decodeInto(res *Result, resp *http.Response) time.Duration {
 	}
 	if h := resp.Header.Get("Retry-After"); h != "" {
 		if secs, err := strconv.Atoi(h); err == nil && secs > 0 {
-			return time.Duration(secs) * time.Second
+			return time.Duration(secs) * time.Second, nil
 		}
 	}
 	if res.ErrBody != nil && res.ErrBody.RetryAfterSeconds > 0 {
-		return time.Duration(res.ErrBody.RetryAfterSeconds * float64(time.Second))
+		return time.Duration(res.ErrBody.RetryAfterSeconds * float64(time.Second)), nil
 	}
-	return 0
+	return 0, nil
 }
 
 // backoff computes the wait before retry #attempt: exponential with

@@ -174,6 +174,30 @@ func TestHedge(t *testing.T) {
 	}
 }
 
+// TestHedgeSlowBody: the server flushes headers immediately but
+// streams the body later. The hedged winner's request context must
+// stay alive until its body is consumed — cancelling at selection time
+// aborts the payload mid-read and loses the response.
+func TestHedgeSlowBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		time.Sleep(30 * time.Millisecond)
+		_ = json.NewEncoder(w).Encode(&server.CompileResponse{Assembly: "slowbody"})
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, Hedge: 5 * time.Millisecond})
+	res, err := c.Compile(context.Background(), &server.CompileRequest{Source: "x"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || res.Resp == nil || res.Resp.Assembly != "slowbody" {
+		t.Fatalf("result = %+v (body lost to early cancel?)", res)
+	}
+}
+
 // TestContextCancel: a dead context aborts promptly with an error.
 func TestContextCancel(t *testing.T) {
 	done := make(chan struct{})

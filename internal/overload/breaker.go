@@ -139,6 +139,21 @@ func (bs *Breakers) Success(key string) {
 	}
 }
 
+// Cancel resolves an attempt under key neutrally: the work neither
+// proved nor disproved the combination's health (e.g. it was served
+// from the cache without exercising the pipeline). A half-open probe's
+// slot is returned without closing the breaker, so the next real
+// attempt probes again; a closed breaker's failure streak is left
+// untouched.
+func (bs *Breakers) Cancel(key string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[key]
+	if b != nil && b.state == HalfOpen {
+		b.probing = false
+	}
+}
+
 // Failure records a breaker-relevant failure under key and reports
 // whether this failure tripped the breaker open (a trip is the moment
 // to write a quarantine bundle). A failed half-open probe re-opens —

@@ -68,6 +68,24 @@ func (d Decision) String() string {
 	return "decision(?)"
 }
 
+// Outcome classifies how an admitted request used its slot; it is the
+// release func's argument.
+type Outcome uint8
+
+const (
+	// Done: the work ran to completion; its service time feeds the
+	// EWMA estimate and the AIMD rule as an SLO sample.
+	Done Outcome = iota
+	// Breached: the work died on its deadline; the sample counts
+	// against the SLO.
+	Breached
+	// Skipped: the slot is returned without the work having run (a
+	// pre-work validation error). No sample is recorded, so a flood of
+	// invalid requests can neither shrink the service estimate nor
+	// inflate the adaptive limit.
+	Skipped
+)
+
 // LimiterConfig tunes a Limiter.
 type LimiterConfig struct {
 	// Initial is the starting concurrency limit (and the permanent one
@@ -146,15 +164,16 @@ func NewLimiter(cfg LimiterConfig) *Limiter {
 }
 
 // Acquire takes an admission slot. On Admitted the returned release
-// func MUST be called exactly once when the work finishes; its argument
-// reports whether the work completed (true) or died on its deadline
-// (false — the sample still counts against the SLO). Every other
-// decision returns a nil release.
+// func MUST be called exactly once when the work finishes; its Outcome
+// argument reports whether the work completed (Done), died on its
+// deadline (Breached — the sample still counts against the SLO), or
+// never ran (Skipped — the slot is returned without a sample). Every
+// other decision returns a nil release.
 //
 // The context's deadline drives doomed-shedding: when the remaining
 // deadline is below the EWMA service estimate, queueing cannot help and
 // the request is shed as ShedDoomed.
-func (l *Limiter) Acquire(ctx context.Context) (release func(ok bool), dec Decision) {
+func (l *Limiter) Acquire(ctx context.Context) (release func(o Outcome), dec Decision) {
 	l.mu.Lock()
 	if l.inflight < l.limit && len(l.queue) == 0 {
 		l.inflight++
@@ -204,13 +223,15 @@ func (l *Limiter) Acquire(ctx context.Context) (release func(ok bool), dec Decis
 }
 
 // releaser returns the release closure for one admitted request.
-func (l *Limiter) releaser(start time.Time) func(ok bool) {
+func (l *Limiter) releaser(start time.Time) func(o Outcome) {
 	var once sync.Once
-	return func(ok bool) {
+	return func(o Outcome) {
 		once.Do(func() {
 			d := time.Since(start)
 			l.mu.Lock()
-			l.observeLocked(d, ok)
+			if o != Skipped {
+				l.observeLocked(d, o == Done)
+			}
 			l.inflight--
 			l.sweepLocked(time.Now())
 			l.admitLocked()

@@ -25,7 +25,7 @@ func TestLimiterAdmitAndQueue(t *testing.T) {
 
 	// Second acquire queues; third sheds (queue full).
 	type got struct {
-		rel func(bool)
+		rel func(Outcome)
 		dec Decision
 	}
 	c := make(chan got)
@@ -39,12 +39,12 @@ func TestLimiterAdmitAndQueue(t *testing.T) {
 		t.Fatalf("over-queue acquire: %v, want ShedFull", dec)
 	}
 
-	rel(true)
+	rel(Done)
 	g := <-c
 	if g.dec != Admitted {
 		t.Fatalf("queued acquire: %v, want Admitted", g.dec)
 	}
-	g.rel(true)
+	g.rel(Done)
 	if l.Inflight() != 0 || l.Queued() != 0 {
 		t.Fatalf("inflight %d queued %d after releases", l.Inflight(), l.Queued())
 	}
@@ -53,7 +53,7 @@ func TestLimiterAdmitAndQueue(t *testing.T) {
 func TestLimiterDoomedShedUpFront(t *testing.T) {
 	l := NewLimiter(LimiterConfig{Initial: 1, MaxQueue: 4})
 	rel, _ := l.Acquire(context.Background())
-	defer rel(true)
+	defer rel(Done)
 
 	// No estimate yet: a short deadline queues (and expires) rather than
 	// being guessed at.
@@ -111,7 +111,7 @@ func TestLimiterSweepEvictsQueuedDoomed(t *testing.T) {
 	// remaining deadline; the sweep must evict it as doomed. Prime
 	// stands in for a slow completion.
 	l.Prime(10 * time.Second)
-	rel(true)
+	rel(Done)
 	if d := <-done; d != ShedDoomed {
 		t.Fatalf("queued doomed waiter: %v, want ShedDoomed", d)
 	}
@@ -127,7 +127,7 @@ func TestLimiterAIMD(t *testing.T) {
 		if dec != Admitted {
 			t.Fatalf("acquire: %v", dec)
 		}
-		rel(true) // ~0ms, inside the SLO
+		rel(Done) // ~0ms, inside the SLO
 	}
 	for i := 0; i < 2; i++ {
 		fast()
@@ -146,15 +146,40 @@ func TestLimiterAIMD(t *testing.T) {
 	// floored), never below Min; paced to one cut per SLO interval.
 	rel, _ := l.Acquire(context.Background())
 	time.Sleep(2 * slo)
-	rel(true)
+	rel(Done)
 	if got := l.Limit(); got != 2 {
 		t.Fatalf("limit after over-SLO sample = %d, want 2", got)
 	}
 	// A second slow sample inside the pacing window must not cut again.
 	rel2, _ := l.Acquire(context.Background())
-	rel2(false)
+	rel2(Breached)
 	if got := l.Limit(); got != 2 {
 		t.Fatalf("limit cut twice within one SLO interval: %d", got)
+	}
+}
+
+// TestLimiterSkippedNoSample: a Skipped release returns the slot
+// without feeding the controller — a flood of instantly-rejected
+// invalid requests must move neither the estimate nor the limit.
+func TestLimiterSkippedNoSample(t *testing.T) {
+	slo := 10 * time.Millisecond
+	l := NewLimiter(LimiterConfig{Initial: 2, Min: 1, Max: 8, MaxQueue: 4, SLO: slo})
+	l.Prime(5 * time.Second)
+	for i := 0; i < 50; i++ {
+		rel, dec := l.Acquire(context.Background())
+		if dec != Admitted {
+			t.Fatalf("acquire %d: %v", i, dec)
+		}
+		rel(Skipped) // near-zero service time, but no sample
+	}
+	if got := l.Limit(); got != 2 {
+		t.Fatalf("limit moved on skipped releases: %d, want 2", got)
+	}
+	if est := l.Snapshot().EstimateSeconds; est != 5 {
+		t.Fatalf("estimate moved on skipped releases: %v, want 5", est)
+	}
+	if l.Inflight() != 0 {
+		t.Fatalf("inflight leaked: %d", l.Inflight())
 	}
 }
 
@@ -165,7 +190,7 @@ func TestLimiterFixedWithoutSLO(t *testing.T) {
 		if dec != Admitted {
 			t.Fatal(dec)
 		}
-		rel(true)
+		rel(Done)
 	}
 	if got := l.Limit(); got != 3 {
 		t.Fatalf("limit drifted without SLO: %d, want 3", got)
@@ -217,8 +242,8 @@ func TestLimiterPressure(t *testing.T) {
 	}
 	cancel()
 	wg.Wait()
-	r1(true)
-	r2(true)
+	r1(Done)
+	r2(Done)
 }
 
 func TestLimiterConcurrency(t *testing.T) {
@@ -237,7 +262,7 @@ func TestLimiterConcurrency(t *testing.T) {
 				if l.Inflight() > l.Snapshot().MaxCap {
 					t.Error("inflight exceeded max limit")
 				}
-				rel(true)
+				rel(Done)
 			} else {
 				other.Store(i, dec)
 			}
@@ -436,6 +461,43 @@ func TestBreakerTripRerouteProbeReset(t *testing.T) {
 	}
 	if len(bs.OpenKeys()) != 0 {
 		t.Errorf("OpenKeys = %v, want none", bs.OpenKeys())
+	}
+}
+
+// TestBreakerCancelProbe: a neutrally resolved half-open probe (the
+// attempt never exercised the pipeline, e.g. cache-only) must return
+// the probe slot WITHOUT closing the breaker — the next attempt probes
+// again, and only a real success closes it.
+func TestBreakerCancelProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(3000, 0)}
+	bs := NewBreakers(BreakerConfig{Threshold: 1, Cooldown: time.Second, Clock: clk.now})
+	key := Key("r2000", "rase")
+
+	if !bs.Failure(key) {
+		t.Fatal("threshold-1 failure did not trip")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if ok, probe := bs.Allow(key); !ok || !probe {
+		t.Fatalf("post-cooldown Allow = %v, %v, want probe", ok, probe)
+	}
+	bs.Cancel(key)
+	if st := bs.States()[key]; st != "half-open" {
+		t.Fatalf("state after cancelled probe = %q, want half-open", st)
+	}
+	// The probe slot was returned: the next attempt is a probe again.
+	ok, probe := bs.Allow(key)
+	if !ok || !probe {
+		t.Fatalf("Allow after Cancel = %v, %v, want a fresh probe", ok, probe)
+	}
+	bs.Success(key)
+	if st := bs.States()[key]; st != "closed" {
+		t.Fatalf("state after real probe success = %q", st)
+	}
+	// Cancel on a closed (or untracked) key is a no-op.
+	bs.Cancel(key)
+	bs.Cancel("nosuch/key")
+	if ok, probe := bs.Allow(key); !ok || probe {
+		t.Fatalf("closed breaker after Cancel: %v, %v", ok, probe)
 	}
 }
 

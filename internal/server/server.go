@@ -481,10 +481,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusGatewayTimeout, "deadline expired while queued", nil)
 		return
 	}
-	// The SLO sample: ok unless the request's own deadline cut it off.
-	// Registered before cancel() in LIFO order, so it reads ctx before
-	// our own deferred cancel fires.
-	defer func() { release(ctx.Err() == nil) }()
+	// The release feeds the AIMD/EWMA controller only when the request
+	// reached the compile; pre-compile rejections (lowering errors,
+	// circuit-broken strategies) return the slot without a sample, so a
+	// flood of invalid requests can neither shrink the service estimate
+	// (mass-evicting queued work as doomed) nor inflate the adaptive
+	// limit past what real compiles sustain. The compile path below
+	// upgrades outcome to Done or Breached.
+	outcome := overload.Skipped
+	defer func() { release(outcome) }()
 	s.limitGauge.Set(int64(s.lim.Limit()))
 
 	// Brownout: the level observed at admission decides how much
@@ -552,21 +557,26 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		dcfg.Budget = time.Duration(opts.BudgetMs) * time.Millisecond
 	}
 
-	// Capture replay state only when the next failure could trip the
-	// breaker: the module is still pristine here (the glue transform
-	// mutates it in place during the compile).
-	quarIL := ""
-	if s.breakers != nil && s.cfg.QuarantineDir != "" && s.breakers.AtRisk(bkey) {
-		quarIL = iltext.Print(mod)
-	}
-
 	res, cerr := s.compileGuarded(ctx, m, mod, dcfg, bkey)
+	// This request reached the compile: its service time is an SLO
+	// sample, counted against the SLO when its deadline cut it off.
+	if ctx.Err() != nil {
+		outcome = overload.Breached
+	} else {
+		outcome = overload.Done
+	}
 	if s.breakers != nil {
-		if relevant := breakerRelevant(cerr); relevant {
-			if s.breakers.Failure(bkey) && quarIL != "" {
-				s.quarantine(bkey, req.Target, effective, dcfg, quarIL, cerr)
+		switch {
+		case breakerRelevant(cerr):
+			if s.breakers.Failure(bkey) {
+				s.quarantine(&req, bkey, effective, dcfg, cerr)
 			}
-		} else {
+		case cacheOnly:
+			// A cache-only attempt never exercised the pipeline: it can
+			// neither close a half-open breaker nor reset a failure
+			// streak. Return the probe slot without a verdict.
+			s.breakers.Cancel(bkey)
+		default:
 			// Anything else — success, a user error, a client deadline —
 			// resolves the attempt so a half-open probe can never wedge.
 			s.breakers.Success(bkey)
@@ -748,12 +758,24 @@ func cacheOnlyMiss(err error) bool {
 	return true
 }
 
-// quarantine writes the replayable bundle for a breaker trip.
-func (s *Server) quarantine(key, target string, kind strategy.Kind, dcfg driver.Config, il string, reason error) {
+// quarantine writes the replayable bundle for a breaker trip. The IL
+// is re-lowered from the pristine request source at trip time: the
+// compiled module was mutated in place by the glue transform, and
+// under concurrency the tripping request cannot be predicted up front
+// (other in-flight failures under the same key advance the streak), so
+// capturing before the compile could leave the trip without a bundle.
+func (s *Server) quarantine(req *CompileRequest, key string, kind strategy.Kind, dcfg driver.Config, reason error) {
+	if s.cfg.QuarantineDir == "" {
+		return
+	}
+	mod, _, err := s.lower(req)
+	if err != nil {
+		return // cannot happen: the same source lowered earlier this request
+	}
 	s.quarC.Inc()
 	_, _ = overload.WriteBundle(s.cfg.QuarantineDir, &overload.Bundle{
 		Key:      key,
-		Target:   target,
+		Target:   req.Target,
 		Strategy: kind.String(),
 		Reason:   reason.Error(),
 		Failures: s.cfg.BreakerThreshold,
@@ -764,7 +786,7 @@ func (s *Server) quarantine(key, target string, kind strategy.Kind, dcfg driver.
 			LinearSelect: dcfg.LinearSelect,
 			BudgetMs:     dcfg.Budget.Milliseconds(),
 		},
-	}, il)
+	}, iltext.Print(mod))
 }
 
 // reject answers a load-shedding status (429/503) with the computed

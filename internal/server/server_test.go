@@ -185,7 +185,7 @@ func TestBadRequests(t *testing.T) {
 // occupySlot takes the server's admission slot directly through the
 // limiter, returning its release; tests use it to force queueing
 // deterministically.
-func occupySlot(t *testing.T, s *Server) func(bool) {
+func occupySlot(t *testing.T, s *Server) func(overload.Outcome) {
 	t.Helper()
 	rel, dec := s.lim.Acquire(context.Background())
 	if dec != overload.Admitted {
@@ -217,7 +217,7 @@ func TestAdmissionShed(t *testing.T) {
 		t.Errorf("429 body retry_after_seconds = %v, want >= 1", resp.RetryAfterSeconds)
 	}
 
-	rel(true) // free the slot; the queued request proceeds
+	rel(overload.Done) // free the slot; the queued request proceeds
 	if w := <-queued; w.Code != http.StatusOK {
 		t.Fatalf("queued request: status %d, want 200: %s", w.Code, w.Body.String())
 	}
@@ -233,7 +233,7 @@ func TestAdmissionShed(t *testing.T) {
 func TestQueuedDeadline(t *testing.T) {
 	s := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 4})
 	rel := occupySlot(t, s)
-	defer rel(true)
+	defer rel(overload.Done)
 
 	w := post(t, s, CompileRequest{Source: addC, Target: "r2000"},
 		map[string]string{DeadlineHeader: "30"})
@@ -257,7 +257,7 @@ func TestDoomedShed(t *testing.T) {
 	s := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 4})
 	s.lim.Prime(2 * time.Second) // est >> the 30ms deadline below
 	rel := occupySlot(t, s)
-	defer rel(true)
+	defer rel(overload.Done)
 
 	start := time.Now()
 	w := post(t, s, CompileRequest{Source: addC, Target: "r2000"},
@@ -332,7 +332,7 @@ func TestDrain(t *testing.T) {
 		t.Errorf("healthz while draining: status %d, want 200", w.Code)
 	}
 
-	rel(true) // the admitted request now runs to completion
+	rel(overload.Done) // the admitted request now runs to completion
 	if w := <-inflight; w.Code != http.StatusOK {
 		t.Fatalf("in-flight request during drain: status %d, want 200: %s", w.Code, w.Body.String())
 	}
