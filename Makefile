@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench benchsmoke cachesmoke loadsmoke brownoutsmoke verify-all chaos ci
+.PHONY: build test vet race bench benchsmoke cachesmoke loadsmoke brownoutsmoke tracesmoke verify-all chaos ci
 
 TARGETS    := r2000 r2000s m88000 i860 rs6000 toyp
 STRATEGIES := naive postpass ips rase local
@@ -74,6 +74,16 @@ loadsmoke:
 brownoutsmoke:
 	GO="$(GO)" sh scripts/brownoutsmoke.sh
 
+# Observability smoke: boot a race-instrumented mariond with a trace
+# ring, a 100ms trace SLO, a JSON access log, and one deterministic
+# serve-site hang; burst it and require that /metrics parses as
+# Prometheus text exposition, /tracez retains the SLO-breaching
+# expired trace with a >=95%-coverage span tree, every access-log line
+# is JSON carrying the slow request's ID exactly once, and output is
+# byte-identical to marionc with tracing on and off (-trace-ring 0).
+tracesmoke:
+	GO="$(GO)" sh scripts/tracesmoke.sh
+
 # Chaos sweep: arm every fault-injection site x mode (panic, err, hang)
 # on every target under every strategy and prove the process never
 # dies — each faulted function walks the degradation ladder and the
@@ -82,4 +92,4 @@ brownoutsmoke:
 chaos:
 	$(GO) run ./cmd/marionstats -faultmatrix
 
-ci: build vet test race benchsmoke cachesmoke loadsmoke brownoutsmoke verify-all chaos
+ci: build vet test race benchsmoke cachesmoke loadsmoke brownoutsmoke tracesmoke verify-all chaos

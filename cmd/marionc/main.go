@@ -31,6 +31,10 @@
 // -faults (or MARION_FAULTS) arms the deterministic fault-injection
 // harness (internal/faults) for chaos testing.
 //
+// -trace records a span tree of the compile (per-function, per-attempt,
+// per-phase spans with attributes) and dumps it as indented JSON to
+// stderr — the offline twin of mariond's GET /tracez.
+//
 // -cache enables the content-addressed compilation cache
 // (internal/cache): each function is looked up by its canonical IR
 // fingerprint, the machine-description fingerprint and the effective
@@ -59,6 +63,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -78,6 +83,7 @@ import (
 	"marion/internal/overload"
 	"marion/internal/pipeline"
 	"marion/internal/strategy"
+	"marion/internal/trace"
 	"marion/internal/verify"
 )
 
@@ -114,6 +120,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"stop after the front end and print the module as textual IL (compilable by marionc/mariond)")
 	replay := fs.String("replay", "",
 		"replay a mariond quarantine bundle directory under its recorded configuration")
+	doTrace := fs.Bool("trace", false,
+		"trace the compile (per-function, per-attempt, per-phase spans) and dump the span tree as JSON to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -179,12 +187,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		gen.Cache = ch
 	}
+	var root *trace.Span
+	if *doTrace {
+		root = trace.New(trace.NewID(), "marionc")
+		gen.Span = root
+	}
 	var res *core.Result
 	if isIL {
 		res, err = gen.CompileIL(file, string(src))
 	} else {
 		res, err = gen.Compile(file, string(src))
 	}
+	dumpTrace(stderr, root, err)
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -283,6 +297,24 @@ func runReplay(fs *flag.FlagSet, dir string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// dumpTrace finishes a -trace root span and prints the span tree as
+// indented JSON to stderr; a nil root (tracing off) prints nothing.
+func dumpTrace(stderr io.Writer, root *trace.Span, cerr error) {
+	if root == nil {
+		return
+	}
+	outcome := "ok"
+	if cerr != nil {
+		outcome = "failed"
+	}
+	b, err := json.MarshalIndent(root.Finish(outcome, 0), "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "marionc: trace:", err)
+		return
+	}
+	fmt.Fprintf(stderr, "marionc: trace:\n%s\n", b)
 }
 
 // emit writes text to the -o file or stdout; exit status 0 or 1.

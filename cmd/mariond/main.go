@@ -34,6 +34,14 @@
 // -faults (or MARION_FAULTS) arms deterministic fault injection at
 // pipeline and serve sites for chaos drills.
 //
+// Observability: every request carries a request ID (client-supplied
+// X-Marion-Request-Id or generated), is logged as one structured JSON
+// access line (-accesslog), and — with -trace-ring N — leaves a full
+// span tree in the in-memory trace ring served at GET /tracez, which
+// preferentially retains slow and SLO-breaching requests
+// (-trace-slo-ms). GET /metrics renders every instrument in the
+// Prometheus text exposition format.
+//
 // SIGTERM or SIGINT begins a graceful drain: /readyz flips to 503 and
 // new compiles are rejected, in-flight requests finish (bounded by
 // -draintimeout), the cache's disk tier is flushed, and the process
@@ -45,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -59,6 +68,29 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// openAccessLog builds the structured access logger from the -accesslog
+// flag value. The returned close func is a no-op except for file
+// destinations.
+func openAccessLog(dest string, stdout, stderr io.Writer) (*slog.Logger, func(), error) {
+	nop := func() {}
+	var w io.Writer
+	switch dest {
+	case "off", "":
+		return nil, nop, nil
+	case "stderr":
+		w = stderr
+	case "stdout":
+		w = stdout
+	default:
+		f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nop, fmt.Errorf("accesslog: %w", err)
+		}
+		return slog.New(slog.NewJSONHandler(f, nil)), func() { f.Close() }, nil
+	}
+	return slog.New(slog.NewJSONHandler(w, nil)), nop, nil
 }
 
 // run is main with its environment made explicit. Exit status: 0 clean
@@ -95,6 +127,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"directory receiving replayable bundles on breaker trips (replay with marionc -replay)")
 	faultSpec := fs.String("faults", os.Getenv("MARION_FAULTS"),
 		"fault injection spec for chaos drills (pipeline sites plus serve); default $MARION_FAULTS")
+	traceRing := fs.Int("trace-ring", 256,
+		"finished request traces retained for GET /tracez (0 = tracing off)")
+	traceSLOMs := fs.Int64("trace-slo-ms", 0,
+		"trace duration marking an SLO breach the ring preferentially keeps (0 = -slo-ms, else 1s)")
+	accessLog := fs.String("accesslog", "stderr",
+		"structured JSON access log destination: stderr, stdout, off, or a file path")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -107,6 +145,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mariond:", err)
 		return 2
 	}
+	alog, closeLog, err := openAccessLog(*accessLog, stdout, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "mariond:", err)
+		return 2
+	}
+	defer closeLog()
 
 	cfg := server.Config{
 		MaxInflight:      *admit,
@@ -123,6 +167,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		BreakerCooldown:  *breakerCooldown,
 		QuarantineDir:    *quarantine,
 		Faults:           fset,
+		TraceRing:        *traceRing,
+		TraceSLO:         time.Duration(*traceSLOMs) * time.Millisecond,
+		AccessLog:        alog,
 	}
 	if *targetList != "" {
 		for _, t := range strings.Split(*targetList, ",") {

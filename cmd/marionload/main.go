@@ -32,6 +32,17 @@
 //
 // -one sends a single request and prints the returned assembly to
 // stdout, so scripts can byte-compare served output against marionc.
+//
+// Every answer carries the server-echoed X-Marion-Request-Id; after a
+// burst, -slowest N lists the IDs of the N slowest answered requests
+// so they can be looked up in the server's trace ring
+// (GET /tracez?id=<id>). -tracecheck skips the burst and instead
+// audits the server's observability surface: GET /metrics must parse
+// as Prometheus text exposition and include the request counter,
+// GET /tracez must retain an SLO-breaching expired trace whose span
+// tree covers >=95% of its wall time, and — with -accesslog FILE —
+// every access-log line must be valid JSON carrying that trace's
+// request ID exactly once.
 package main
 
 import (
@@ -52,7 +63,9 @@ import (
 	"time"
 
 	"marion/internal/client"
+	"marion/internal/metrics"
 	"marion/internal/server"
+	"marion/internal/trace"
 )
 
 func main() {
@@ -126,10 +139,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	one := fs.String("one", "", "send one request for this .c file and print the assembly")
 	oneTarget := fs.String("target", "r2000", "target for -one")
 	oneStrategy := fs.String("strategy", "postpass", "strategy for -one")
+	slowest := fs.Int("slowest", 5,
+		"after the burst, print the request IDs of the N slowest answered requests")
+	tracecheck := fs.Bool("tracecheck", false,
+		"audit the server's /metrics and /tracez surfaces instead of running a burst")
+	accessLogPath := fs.String("accesslog", "",
+		"with -tracecheck: the server's JSON access log file to cross-check against /tracez")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	base := "http://" + *addr
+
+	if *tracecheck {
+		return runTraceCheck(base, *accessLogPath, stdout, stderr)
+	}
 
 	cl := client.New(client.Config{
 		BaseURL:     base,
@@ -182,6 +205,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		mu          sync.Mutex
 		latencies   []float64
+		samples     []sample              // every answered request, 2xx or not
 		bodies      = map[string][]byte{} // key -> first OK assembly (-check)
 		brownoutMax int
 		ok, shed    atomic.Int64
@@ -218,6 +242,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 				if res.Hedged {
 					hedged.Add(1)
 				}
+				mu.Lock()
+				samples = append(samples, sample{
+					ms:     float64(lat) / float64(time.Millisecond),
+					id:     res.RequestID,
+					status: res.Status,
+				})
+				mu.Unlock()
 				switch {
 				case res.Status >= 200 && res.Status < 300:
 					ok.Add(1)
@@ -288,6 +319,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.P50Ms, rep.P99Ms, rep.HitRate,
 		rep.Degraded, rep.BrownoutMax, rep.Rerouted, rep.Evicted,
 		rep.BreakersOpen, rep.FinalPressureLevel)
+	printSlowest(stdout, samples, *slowest)
 
 	if *jsonOut != "" {
 		b, _ := json.MarshalIndent(rep, "", "  ")
@@ -323,6 +355,194 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// sample is one answered request: its client-observed latency, the
+// server-echoed request ID, and the final HTTP status. Unlike the
+// latency quantiles (2xx only), samples cover every answer so the
+// slowest listing surfaces expired and failed requests too — those
+// are exactly the ones worth pulling from /tracez.
+type sample struct {
+	ms     float64
+	id     string
+	status int
+}
+
+// printSlowest lists the n slowest answered requests with their
+// request IDs, the handle into the server's trace ring.
+func printSlowest(stdout io.Writer, samples []sample, n int) {
+	if n <= 0 || len(samples) == 0 {
+		return
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].ms > samples[j].ms })
+	if n > len(samples) {
+		n = len(samples)
+	}
+	fmt.Fprintf(stdout, "  slowest %d (look up with GET /tracez?id=<id>):\n", n)
+	for _, s := range samples[:n] {
+		fmt.Fprintf(stdout, "    %8.1fms  status %d  id=%s\n", s.ms, s.status, s.id)
+	}
+}
+
+// runTraceCheck audits the observability surface of a running mariond:
+// /metrics must be valid Prometheus text exposition containing the
+// request counter; /tracez must retain an SLO-breaching expired trace
+// whose span tree accounts for >=95% of its wall time and includes the
+// admission and compile spans; and, when an access log file is given,
+// every line must be structured JSON and the slow trace's request ID
+// must appear in exactly one line.
+func runTraceCheck(base, accessLog string, stdout, stderr io.Writer) int {
+	httpc := &http.Client{Timeout: 30 * time.Second}
+
+	// 1. /metrics parses as Prometheus text exposition.
+	body, err := fetch(httpc, base+"/metrics")
+	if err != nil {
+		fmt.Fprintln(stderr, "marionload: tracecheck:", err)
+		return 1
+	}
+	nsamples, err := metrics.ParsePrometheusText(bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(stderr, "marionload: tracecheck: /metrics is not valid Prometheus text:", err)
+		return 1
+	}
+	if !bytes.Contains(body, []byte("marion_server_requests")) {
+		fmt.Fprintln(stderr, "marionload: tracecheck: /metrics lacks marion_server_requests")
+		return 1
+	}
+	fmt.Fprintf(stdout, "marionload: tracecheck: /metrics ok (%d samples)\n", nsamples)
+
+	// 2. /tracez retains a breaching expired trace with a full span tree.
+	body, err = fetch(httpc, base+"/tracez")
+	if err != nil {
+		fmt.Fprintln(stderr, "marionload: tracecheck:", err)
+		return 1
+	}
+	var tz server.Tracez
+	if err := json.Unmarshal(body, &tz); err != nil {
+		fmt.Fprintln(stderr, "marionload: tracecheck: /tracez:", err)
+		return 1
+	}
+	var slow *trace.Summary
+	for i := range tz.Traces {
+		s := &tz.Traces[i]
+		if s.Breach && s.Outcome == "expired" && (slow == nil || s.DurationUs > slow.DurationUs) {
+			slow = s
+		}
+	}
+	if slow == nil {
+		fmt.Fprintf(stderr,
+			"marionload: tracecheck: no SLO-breaching expired trace among %d retained\n",
+			len(tz.Traces))
+		return 1
+	}
+	body, err = fetch(httpc, base+"/tracez?id="+slow.ID)
+	if err != nil {
+		fmt.Fprintln(stderr, "marionload: tracecheck:", err)
+		return 1
+	}
+	var tr trace.Trace
+	if err := json.Unmarshal(body, &tr); err != nil {
+		fmt.Fprintln(stderr, "marionload: tracecheck: /tracez?id:", err)
+		return 1
+	}
+	names := map[string]bool{}
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"admission", "compile"} {
+		if !names[want] {
+			fmt.Fprintf(stderr, "marionload: tracecheck: trace %s has no %q span\n", tr.ID, want)
+			return 1
+		}
+	}
+	if cov := tr.Coverage(); cov < 0.95 {
+		fmt.Fprintf(stderr,
+			"marionload: tracecheck: trace %s spans cover only %.0f%% of wall time\n",
+			tr.ID, cov*100)
+		return 1
+	}
+	fmt.Fprintf(stdout,
+		"marionload: tracecheck: /tracez ok (slow trace %s: %.1fms, %d spans, %.0f%% covered)\n",
+		tr.ID, float64(tr.DurationUs)/1e3, len(tr.Spans), tr.Coverage()*100)
+
+	// 3. The access log is line-delimited JSON and carries the slow
+	// trace's request ID exactly once.
+	if accessLog == "" {
+		return 0
+	}
+	if code := checkAccessLog(accessLog, tr.ID, stdout, stderr); code != 0 {
+		return code
+	}
+	return 0
+}
+
+// checkAccessLog validates the structured access log: every line must
+// be JSON with the required fields, and wantID must tag exactly one.
+func checkAccessLog(path, wantID string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "marionload: tracecheck:", err)
+		return 1
+	}
+	required := []string{"id", "status", "latency_ms", "outcome", "target", "strategy"}
+	lines, hits := 0, 0
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			fmt.Fprintf(stderr, "marionload: tracecheck: access log line %d is not JSON: %v\n",
+				lines, err)
+			return 1
+		}
+		if msg, _ := rec["msg"].(string); msg != "access" {
+			fmt.Fprintf(stderr, "marionload: tracecheck: access log line %d has msg=%q\n",
+				lines, rec["msg"])
+			return 1
+		}
+		for _, k := range required {
+			if _, ok := rec[k]; !ok {
+				fmt.Fprintf(stderr, "marionload: tracecheck: access log line %d lacks %q\n",
+					lines, k)
+				return 1
+			}
+		}
+		if id, _ := rec["id"].(string); id == wantID {
+			hits++
+		}
+	}
+	if lines == 0 {
+		fmt.Fprintf(stderr, "marionload: tracecheck: access log %s is empty\n", path)
+		return 1
+	}
+	if hits != 1 {
+		fmt.Fprintf(stderr,
+			"marionload: tracecheck: request ID %s appears in %d access log lines (want 1)\n",
+			wantID, hits)
+		return 1
+	}
+	fmt.Fprintf(stdout, "marionload: tracecheck: access log ok (%d lines, id %s logged once)\n",
+		lines, wantID)
+	return 0
+}
+
+// fetch GETs a URL and returns the body, failing on non-200.
+func fetch(httpc *http.Client, url string) ([]byte, error) {
+	resp, err := httpc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return body, nil
 }
 
 // runOne sends a single compile and prints the assembly, for scripts

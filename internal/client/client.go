@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"marion/internal/server"
+	"marion/internal/trace"
 )
 
 // Config tunes a Client. The zero value (plus BaseURL) is a plain
@@ -103,6 +104,15 @@ type Result struct {
 	// Hedged reports that the winning response came from a hedge
 	// request rather than the primary.
 	Hedged bool
+	// RequestID is the server-echoed request ID of the final answer —
+	// the handle for the server's /tracez?id=<RequestID> and the key of
+	// its access-log line. Empty when no answer carried the header.
+	RequestID string
+	// RequestIDs lists the ID sent with every physical request, in send
+	// order: the first attempt's ID is the base, retries and hedges get
+	// "<base>.<n>" so every server-side trace stays distinct yet
+	// greppable back to the one logical call.
+	RequestIDs []string
 }
 
 // Retryable reports whether a status is worth retrying under the
@@ -127,9 +137,10 @@ func (c *Client) Compile(ctx context.Context, req *server.CompileRequest, deadli
 		return nil, err
 	}
 	res := &Result{}
+	base := trace.NewID()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		resp, hedged, aerr := c.send(ctx, body, deadline)
+		resp, hedged, aerr := c.send(ctx, body, deadline, base, res)
 		if resp != nil {
 			res.Attempts++
 			if hedged {
@@ -137,6 +148,9 @@ func (c *Client) Compile(ctx context.Context, req *server.CompileRequest, deadli
 				res.Hedged = true
 			}
 			res.Status = resp.StatusCode
+			if id := resp.Header.Get(server.RequestIDHeader); id != "" {
+				res.RequestID = id
+			}
 			if resp.StatusCode == http.StatusTooManyRequests {
 				res.Sheds++
 			}
@@ -200,18 +214,29 @@ func (c *Client) Statz(ctx context.Context) (*server.Statz, error) {
 // send issues one logical attempt: the primary request, plus a hedge
 // when configured and the primary is slow. The first response wins;
 // the loser's context is cancelled. hedged reports whether the winner
-// was the hedge.
-func (c *Client) send(ctx context.Context, body []byte, deadline time.Duration) (resp *http.Response, hedged bool, err error) {
+// was the hedge. Every physical request gets its own request ID
+// (derived from base, recorded in res.RequestIDs), assigned at launch
+// from send's own goroutine so hedges never race on the slice.
+func (c *Client) send(ctx context.Context, body []byte, deadline time.Duration, base string, res *Result) (resp *http.Response, hedged bool, err error) {
+	nextID := func() string {
+		id := base
+		if n := len(res.RequestIDs); n > 0 {
+			id = base + "." + strconv.Itoa(n)
+		}
+		res.RequestIDs = append(res.RequestIDs, id)
+		return id
+	}
 	if c.cfg.Hedge <= 0 {
-		resp, err = c.post(ctx, body, deadline)
+		resp, err = c.post(ctx, body, deadline, nextID())
 		return resp, false, err
 	}
 
 	ch := make(chan answer, 2)
 	launch := func(hedge bool) {
 		rctx, cancel := context.WithCancel(ctx)
+		id := nextID()
 		go func() {
-			r, e := c.post(rctx, body, deadline)
+			r, e := c.post(rctx, body, deadline, id)
 			ch <- answer{resp: r, err: e, hedge: hedge, cancel: cancel}
 		}()
 	}
@@ -299,13 +324,16 @@ func drainCancel(ch chan answer, n int) {
 	}
 }
 
-// post sends one POST /compile.
-func (c *Client) post(ctx context.Context, body []byte, deadline time.Duration) (*http.Response, error) {
+// post sends one POST /compile tagged with its request ID.
+func (c *Client) post(ctx context.Context, body []byte, deadline time.Duration, id string) (*http.Response, error) {
 	r, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/compile", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	r.Header.Set("Content-Type", "application/json")
+	if id != "" {
+		r.Header.Set(server.RequestIDHeader, id)
+	}
 	if deadline > 0 {
 		r.Header.Set(server.DeadlineHeader, strconv.FormatInt(deadline.Milliseconds(), 10))
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -254,5 +255,93 @@ func TestStatz(t *testing.T) {
 	}
 	if st.PressureLevel != 2 || st.Limit != 7 {
 		t.Fatalf("statz = %+v", st)
+	}
+}
+
+// Every sent attempt carries a request ID; retries get derived IDs
+// (base.1, base.2, ...) so server logs distinguish attempts, and the
+// answering attempt's server-echoed ID lands in Result.RequestID.
+func TestRequestIDPropagation(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(server.RequestIDHeader)
+		mu.Lock()
+		seen = append(seen, id)
+		mu.Unlock()
+		w.Header().Set(server.RequestIDHeader, id) // echo like mariond
+		if calls.Add(1) == 1 {
+			shedBody(w, "", 0.001)
+			return
+		}
+		okBody(t, w, "asm")
+	}))
+	defer ts.Close()
+
+	c := New(Config{
+		BaseURL:     ts.URL,
+		MaxRetries:  2,
+		BaseBackoff: time.Millisecond,
+		Rand:        func() float64 { return 0 },
+	})
+	res, err := c.Compile(context.Background(), &server.CompileRequest{Source: "x", Target: "r2000"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(seen))
+	}
+	if seen[0] == "" || seen[1] == "" {
+		t.Fatalf("attempt without request ID: %q", seen)
+	}
+	if seen[1] != seen[0]+".1" {
+		t.Errorf("retry ID = %q, want %q", seen[1], seen[0]+".1")
+	}
+	if res.RequestID != seen[1] {
+		t.Errorf("Result.RequestID = %q, want the answering attempt %q", res.RequestID, seen[1])
+	}
+	if len(res.RequestIDs) != 2 || res.RequestIDs[0] != seen[0] || res.RequestIDs[1] != seen[1] {
+		t.Errorf("Result.RequestIDs = %q, want %q", res.RequestIDs, seen)
+	}
+}
+
+// Hedged attempts must carry distinct IDs too — two in-flight requests
+// with one ID would make server logs lie.
+func TestHedgeRequestIDsDistinct(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	release := make(chan struct{})
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(server.RequestIDHeader)
+		mu.Lock()
+		seen[id] = true
+		mu.Unlock()
+		w.Header().Set(server.RequestIDHeader, id)
+		if calls.Add(1) == 1 {
+			<-release // first attempt stalls; the hedge answers
+		}
+		okBody(t, w, "asm")
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	c := New(Config{BaseURL: ts.URL, Hedge: time.Millisecond})
+	res, err := c.Compile(context.Background(), &server.CompileRequest{Source: "x", Target: "r2000"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged {
+		t.Fatal("hedge did not win")
+	}
+	mu.Lock()
+	n := len(seen)
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("server saw %d distinct IDs, want 2", n)
+	}
+	if res.RequestID == "" || !seen[res.RequestID] {
+		t.Errorf("Result.RequestID %q is not one the server saw", res.RequestID)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"marion/internal/sim"
 	"marion/internal/strategy"
 	"marion/internal/targets"
+	"marion/internal/trace"
 	"marion/internal/verify"
 )
 
@@ -81,6 +82,10 @@ type CodeGenerator struct {
 	// (internal/cache) consulted per function before the back end runs;
 	// hits are byte-identical to a fresh compile.
 	Cache *cache.Cache
+	// Span, when non-nil, is the parent trace span under which the back
+	// end records per-function, per-attempt and per-phase spans (see
+	// internal/trace). Nil means tracing is off.
+	Span *trace.Span
 }
 
 // New builds a code generator for a shipped target.
@@ -161,7 +166,7 @@ func (g *CodeGenerator) CompileModuleCtx(ctx context.Context, mod *ir.Module) (*
 	c, err := driver.CompileModuleCtx(ctx, g.Machine, mod, driver.Config{
 		Strategy: g.Strategy, Options: g.Options, Workers: g.Workers,
 		Verify: g.Verify, Budget: g.Budget, Strict: g.Strict, Faults: g.Faults,
-		Cache: g.Cache,
+		Cache: g.Cache, Span: g.Span,
 	})
 	if err != nil {
 		return nil, err

@@ -26,6 +26,7 @@ import (
 	"marion/internal/sel"
 	"marion/internal/strategy"
 	"marion/internal/targets"
+	"marion/internal/trace"
 	"marion/internal/verify"
 )
 
@@ -65,6 +66,9 @@ type Config struct {
 	// become pipeline.ErrCacheOnlyMiss diagnostics instead of compiles.
 	// The server's deepest brownout level.
 	CacheOnly bool
+	// Span, when non-nil, is the parent trace span for the back end run;
+	// see pipeline.Config.Span. Nil means tracing is off.
+	Span *trace.Span
 }
 
 // Compiled is the result of one compilation.
@@ -93,6 +97,9 @@ type Compiled struct {
 	// degradation ladder emitted via a fallback rung (each one
 	// re-verified clean before acceptance).
 	Degradations []pipeline.Degradation
+	// CacheHits counts functions served from the compilation cache
+	// without running any pipeline phase.
+	CacheHits int
 }
 
 // Compile compiles a C translation unit for the configured target.
@@ -192,6 +199,7 @@ func CompileModuleCtx(ctx context.Context, m *mach.Machine, mod *ir.Module, cfg 
 		Faults:       cfg.Faults,
 		Cache:        cfg.Cache,
 		CacheOnly:    cfg.CacheOnly,
+		Span:         cfg.Span,
 	})
 	if err := diags.Err(); err != nil {
 		return nil, err
@@ -208,6 +216,9 @@ func CompileModuleCtx(ctx context.Context, m *mach.Machine, mod *ir.Module, cfg 
 		}
 		if r.Fallback != nil {
 			out.Degradations = append(out.Degradations, *r.Fallback)
+		}
+		if r.CacheHit {
+			out.CacheHits++
 		}
 		// A Result's timings include every ladder attempt; attribute
 		// only the accepted one to the per-phase totals so a degraded

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"math"
 	"runtime/pprof"
 	"sort"
 	"sync"
@@ -66,8 +67,39 @@ type Histogram struct {
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
-	h.sum.Add(int64(v * 1e6))
+	addSaturating(&h.sum, microUnits(v))
 	h.n.Add(1)
+}
+
+// microUnits converts a value to micro-units, saturating at the int64
+// bounds instead of letting the float conversion wrap: one absurd
+// observation must not flip the running sum negative.
+func microUnits(v float64) int64 {
+	µ := v * 1e6
+	switch {
+	case µ >= math.MaxInt64: // 2^63 is exactly representable
+		return math.MaxInt64
+	case µ <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(µ)
+}
+
+// addSaturating adds d to an atomic accumulator, pegging at the int64
+// bounds on overflow rather than wrapping.
+func addSaturating(a *atomic.Int64, d int64) {
+	for {
+		old := a.Load()
+		sum := old + d
+		if d > 0 && sum < old {
+			sum = math.MaxInt64
+		} else if d < 0 && sum > old {
+			sum = math.MinInt64
+		}
+		if a.CompareAndSwap(old, sum) {
+			return
+		}
+	}
 }
 
 // ObserveDuration records a duration in seconds.

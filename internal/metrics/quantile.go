@@ -1,0 +1,43 @@
+package metrics
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) of the observed
+// distribution from the snapshot's buckets, interpolating linearly
+// inside the bucket the rank falls in — the same estimator Prometheus'
+// histogram_quantile uses, so server-reported tails agree with what a
+// scraper would compute.
+//
+// The first bucket interpolates from zero (every Marion histogram
+// observes non-negative values); a rank landing in the overflow bucket
+// returns the last finite bound, the largest value the histogram can
+// attest to. An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	lower := 0.0
+	for i, c := range s.Counts {
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no finite upper bound to interpolate to.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		upper := s.Bounds[i]
+		if c > 0 && cum+float64(c) >= rank {
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += float64(c)
+		lower = upper
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -3,8 +3,11 @@ package overload
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"marion/internal/trace"
 )
 
 // BreakerState is one circuit breaker's state.
@@ -159,34 +162,48 @@ func (bs *Breakers) Cancel(key string) {
 // to write a quarantine bundle). A failed half-open probe re-opens —
 // that also counts as a trip.
 func (bs *Breakers) Failure(key string) (tripped bool) {
+	return bs.FailureTraced(key, nil)
+}
+
+// FailureTraced is Failure with a trace span: a trip is recorded as a
+// "breaker.trip" event on sp (nil sp traces nothing), so the request
+// that tripped a key carries the moment in its own trace.
+func (bs *Breakers) FailureTraced(key string, sp *trace.Span) (tripped bool) {
 	now := bs.cfg.Clock()
 	bs.mu.Lock()
-	defer bs.mu.Unlock()
 	b := bs.m[key]
 	if b == nil {
 		b = &breaker{}
 		bs.m[key] = b
 	}
+	fails := 0
 	switch b.state {
 	case Closed:
 		b.fails++
+		fails = b.fails
 		if b.fails >= bs.cfg.Threshold {
 			b.state = Open
 			b.opened = now
 			bs.trips++
-			return true
+			tripped = true
 		}
 	case HalfOpen:
 		b.state = Open
 		b.opened = now
 		b.probing = false
 		bs.trips++
-		return true
+		tripped = true
 	case Open:
 		// A request admitted before the trip finishing late; keep open.
 		b.opened = now
 	}
-	return false
+	bs.mu.Unlock()
+	if tripped {
+		sp.Event("breaker.trip", "key", key)
+	} else if fails > 0 {
+		sp.Event("breaker.failure", "key", key, "fails", strconv.Itoa(fails))
+	}
+	return tripped
 }
 
 // AtRisk reports whether the NEXT failure under key could trip the

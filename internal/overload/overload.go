@@ -35,8 +35,11 @@ package overload
 import (
 	"context"
 	"math"
+	"strconv"
 	"sync"
 	"time"
+
+	"marion/internal/trace"
 )
 
 // Decision is the outcome of Limiter.Acquire.
@@ -137,7 +140,8 @@ func (c *LimiterConfig) fill() {
 // blocks resolving it.
 type waiter struct {
 	res      chan Decision
-	deadline time.Time // zero: no deadline
+	deadline time.Time   // zero: no deadline
+	sp       *trace.Span // nil when the request is untraced
 }
 
 // Limiter is the adaptive admission controller. All methods are safe
@@ -174,6 +178,14 @@ func NewLimiter(cfg LimiterConfig) *Limiter {
 // deadline is below the EWMA service estimate, queueing cannot help and
 // the request is shed as ShedDoomed.
 func (l *Limiter) Acquire(ctx context.Context) (release func(o Outcome), dec Decision) {
+	return l.AcquireTraced(ctx, nil)
+}
+
+// AcquireTraced is Acquire with a trace span: admission-path decisions
+// that are otherwise invisible to the caller — an up-front doomed shed,
+// a later in-queue eviction when the service estimate moves — are
+// recorded as events on sp (nil sp traces nothing).
+func (l *Limiter) AcquireTraced(ctx context.Context, sp *trace.Span) (release func(o Outcome), dec Decision) {
 	l.mu.Lock()
 	if l.inflight < l.limit && len(l.queue) == 0 {
 		l.inflight++
@@ -187,10 +199,13 @@ func (l *Limiter) Acquire(ctx context.Context) (release func(o Outcome), dec Dec
 	}
 	if dl, ok := ctx.Deadline(); ok && l.doomedLocked(dl, time.Now()) {
 		l.evicted++
+		est := l.est
 		l.mu.Unlock()
+		sp.Event("overload.evict", "reason", "doomed-upfront",
+			"estimate_ms", strconv.FormatInt(int64(est*1e3), 10))
 		return nil, ShedDoomed
 	}
-	w := &waiter{res: make(chan Decision, 1)}
+	w := &waiter{res: make(chan Decision, 1), sp: sp}
 	if dl, ok := ctx.Deadline(); ok {
 		w.deadline = dl
 	}
@@ -299,6 +314,8 @@ func (l *Limiter) sweepLocked(now time.Time) {
 	kept := l.queue[:0]
 	for _, w := range l.queue {
 		if !w.deadline.IsZero() && l.doomedLocked(w.deadline, now) {
+			w.sp.Event("overload.evict", "reason", "doomed-in-queue",
+				"estimate_ms", strconv.FormatInt(int64(l.est*1e3), 10))
 			w.res <- ShedDoomed
 			l.evicted++
 			continue

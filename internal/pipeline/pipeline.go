@@ -28,6 +28,7 @@ import (
 	"marion/internal/metrics"
 	"marion/internal/sel"
 	"marion/internal/strategy"
+	"marion/internal/trace"
 	"marion/internal/verify"
 	"marion/internal/xform"
 )
@@ -58,6 +59,9 @@ type Ctx struct {
 	// Attempt is 0 for the primary compilation and counts up the
 	// degradation ladder's retries.
 	Attempt int
+	// Span is this attempt's trace span (nil when tracing is off);
+	// phases may annotate it.
+	Span *trace.Span
 	// Inject fires this attempt's armed fault-injection sites; nil
 	// injects nothing.
 	Inject *faults.Injector
@@ -179,6 +183,11 @@ type Config struct {
 	// keeps answering for warm code at near-zero cost and sheds the rest.
 	CacheOnly bool
 
+	// Span, when non-nil, is the parent trace span for the whole run;
+	// each function gets a child span, with attempt and phase spans
+	// nested below. Nil means tracing is off and costs one nil check.
+	Span *trace.Span
+
 	// Cache, when non-nil, is the content-addressed compilation cache:
 	// each function is looked up by (canonical IR fingerprint, machine
 	// fingerprint, config key) before any phase runs; a hit bypasses the
@@ -225,6 +234,9 @@ type Result struct {
 	// output; its result was re-checked by internal/verify before being
 	// accepted.
 	Fallback *Degradation
+	// CacheHit marks a result served from the compilation cache without
+	// running any phase.
+	CacheHit bool
 }
 
 // Run compiles every function through the pipeline with a bounded
@@ -314,20 +326,29 @@ type keyParts struct {
 // mutates the IR); a hit bypasses every phase. A verify-clean primary
 // result is stored back; degraded results never are.
 func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *ir.Func, cfg Config, keys *keyParts, diags *Diagnostics) *Result {
+	fnSpan := cfg.Span.Child("fn:" + fn.Name)
+	defer fnSpan.End()
+
 	var key cache.Key
 	if keys != nil {
 		start := time.Now()
+		csp := fnSpan.Child("cache")
 		key = cache.FuncKey(fn.Fingerprint(), keys.mach, keys.cfg)
 		if res := p.cacheLookup(key, m, fn, cfg); res != nil {
+			csp.Attr("result", "hit")
+			csp.End()
 			res.Timings = []PhaseTiming{{
 				Phase: "cache", Time: time.Since(start), Strategy: cfg.Strategy,
 			}}
 			phaseHist("cache").ObserveDuration(time.Since(start))
 			return res
 		}
+		csp.Attr("result", "miss")
+		csp.End()
 	}
 
 	if cfg.CacheOnly {
+		fnSpan.Attr("outcome", "cache-only-miss")
 		diags.Add(index, fn.Name, "cache", ErrCacheOnlyMiss)
 		return nil
 	}
@@ -354,11 +375,12 @@ func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *i
 		if attempt > 0 {
 			irFn = pristine.Clone()
 		}
-		res, timings, phase, err := p.tryOne(ctx, m, index, irFn, cfg, kind, attempt)
+		res, timings, phase, err := p.tryOne(ctx, m, index, irFn, cfg, kind, attempt, fnSpan)
 		if err == nil {
 			res.IR = fn // report under the module's own *ir.Func
 			res.Timings = append(prior, res.Timings...)
 			if attempt > 0 {
+				fnSpan.Attr("degraded", kind.String())
 				res.Fallback = &Degradation{
 					Func:     fn.Name,
 					From:     cfg.Strategy,
@@ -368,7 +390,7 @@ func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *i
 					Reason:   firstErr.Error(),
 				}
 			} else if keys != nil {
-				p.cacheStore(key, m, fn, cfg, res)
+				p.cacheStore(key, m, fn, cfg, res, fnSpan)
 			}
 			return res
 		}
@@ -399,7 +421,12 @@ func (p *Pipeline) runOne(ctx context.Context, m *mach.Machine, index int, fn *i
 // Fallback attempts (attempt > 0) are re-checked by internal/verify
 // before acceptance, whether or not Config.Verify is set: a degraded
 // result is only accepted when it proves clean.
-func (p *Pipeline) tryOne(ctx context.Context, m *mach.Machine, index int, fn *ir.Func, cfg Config, kind strategy.Kind, attempt int) (*Result, []PhaseTiming, string, error) {
+func (p *Pipeline) tryOne(ctx context.Context, m *mach.Machine, index int, fn *ir.Func, cfg Config, kind strategy.Kind, attempt int, fnSpan *trace.Span) (*Result, []PhaseTiming, string, error) {
+	asp := fnSpan.Child("attempt")
+	asp.Attr("strategy", kind.String())
+	asp.AttrInt("n", int64(attempt))
+	defer asp.End()
+
 	actx := ctx
 	if cfg.Budget > 0 {
 		var cancel context.CancelFunc
@@ -420,33 +447,41 @@ func (p *Pipeline) tryOne(ctx context.Context, m *mach.Machine, index int, fn *i
 		LinearSelect:  cfg.LinearSelect,
 		VerifyEnabled: cfg.Verify,
 		Attempt:       attempt,
+		Span:          asp,
 		Inject:        inj,
 	}
 	for _, ph := range p.Phases {
 		if err := actx.Err(); err != nil {
+			asp.Attr("error", ph.Name)
 			return nil, c.Timings, ph.Name, budgetize(ph.Name, err, ctx, cfg.Budget)
 		}
+		psp := asp.Child(ph.Name)
 		start := time.Now()
 		err := runPhase(c, ph)
 		elapsed := time.Since(start)
+		psp.End()
 		c.Timings = append(c.Timings, PhaseTiming{
 			Phase: ph.Name, Time: elapsed, Attempt: attempt, Strategy: kind,
 		})
 		phaseHist(ph.Name).ObserveDuration(elapsed)
 		if err != nil {
+			asp.Attr("error", ph.Name)
 			return nil, c.Timings, ph.Name, budgetize(ph.Name, err, ctx, cfg.Budget)
 		}
 	}
 	if attempt > 0 {
 		// The runtime gate: degraded output must verify clean against
 		// the machine description before it replaces the real thing.
+		rsp := asp.Child("reverify")
 		rep := c.Verify
 		if !c.VerifyEnabled {
 			rep = verify.Func(c.Machine, c.Func, verify.Options{
 				IssueOnly: opts.Sched.CurrentCycleOnly,
 			})
 		}
+		rsp.End()
 		if !rep.Empty() {
+			asp.Attr("error", "reverify")
 			return nil, c.Timings, "verify", fmt.Errorf("fallback %s rejected by verifier: %d finding(s):\n%s",
 				kind, len(rep.Findings), rep)
 		}
@@ -480,7 +515,7 @@ func (p *Pipeline) cacheLookup(key cache.Key, m *mach.Machine, fn *ir.Func, cfg 
 	}
 	res := &Result{
 		IR: fn, Func: ent.Func, Stats: &ent.Stats, Sel: ent.Sel,
-		Strategy: cfg.Strategy,
+		Strategy: cfg.Strategy, CacheHit: true,
 	}
 	if cfg.Verify {
 		res.Verify = &verify.Report{}
@@ -494,7 +529,9 @@ func (p *Pipeline) cacheLookup(key cache.Key, m *mach.Machine, fn *ir.Func, cfg 
 // time only (the miss path pays it once; hits never do). A result that
 // does not prove clean is simply not cached — the run's own output is
 // unaffected.
-func (p *Pipeline) cacheStore(key cache.Key, m *mach.Machine, fn *ir.Func, cfg Config, res *Result) {
+func (p *Pipeline) cacheStore(key cache.Key, m *mach.Machine, fn *ir.Func, cfg Config, res *Result, fnSpan *trace.Span) {
+	ssp := fnSpan.Child("cachestore")
+	defer ssp.End()
 	start := time.Now()
 	rep := res.Verify
 	if rep == nil {

@@ -4,12 +4,21 @@ package server
 import (
 	"marion/internal/cache"
 	"marion/internal/strategy"
+	"marion/internal/trace"
 )
 
 // DeadlineHeader is the request header carrying the client's compile
 // deadline in milliseconds. It is clamped to Config.MaxDeadline; absent
 // or invalid, Config.DefaultDeadline applies.
 const DeadlineHeader = "X-Marion-Deadline-Ms"
+
+// RequestIDHeader carries the request ID. A client may supply its own
+// (1..64 chars of [A-Za-z0-9._-]; anything else is replaced), the
+// server generates one otherwise, and every answer — success or
+// rejection — echoes the effective ID back in the same header. The ID
+// names the request's trace in GET /tracez and tags its access-log
+// line.
+const RequestIDHeader = "X-Marion-Request-Id"
 
 // CompileRequest is the body of POST /compile.
 type CompileRequest struct {
@@ -81,6 +90,12 @@ type CompileResponse struct {
 	// request off its requested (target, strategy), e.g.
 	// "r2000/rase -> r2000/postpass".
 	BreakerReroute string `json:"breaker_reroute,omitempty"`
+	// RequestID is the effective request ID (also in RequestIDHeader);
+	// look the request's trace up at /tracez?id=<RequestID>.
+	RequestID string `json:"request_id,omitempty"`
+	// CacheHits counts the module's functions served from the
+	// compilation cache without compiling.
+	CacheHits int `json:"cache_hits,omitempty"`
 }
 
 // Diag is one structured per-function failure.
@@ -147,4 +162,22 @@ type Statz struct {
 	BreakerResets int64             `json:"breaker_resets,omitempty"`
 
 	Cache cache.Stats `json:"cache"`
+
+	// Latency reports server-side latency quantiles per histogram
+	// (milliseconds), e.g. Latency["server.compile.seconds"]["p99"].
+	Latency map[string]map[string]float64 `json:"latency_ms,omitempty"`
+
+	// TraceCount and TraceCapacity describe the /tracez ring (absent
+	// when tracing is disabled).
+	TraceCount    int `json:"trace_count,omitempty"`
+	TraceCapacity int `json:"trace_capacity,omitempty"`
+}
+
+// Tracez is the body of GET /tracez (without ?id): the ring's shape
+// plus a summary of every retained trace, newest first. GET
+// /tracez?id=<request id> returns the one trace.Trace instead.
+type Tracez struct {
+	Capacity int             `json:"capacity"`
+	SLOMs    float64         `json:"slo_ms"`
+	Traces   []trace.Summary `json:"traces"`
 }

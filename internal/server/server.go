@@ -42,11 +42,13 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +65,7 @@ import (
 	"marion/internal/pipeline"
 	"marion/internal/strategy"
 	"marion/internal/targets"
+	"marion/internal/trace"
 )
 
 // Config tunes a Server. The zero value serves every shipped target
@@ -127,6 +130,20 @@ type Config struct {
 	// Clock is the time source for brownout/breaker pacing (default
 	// time.Now), injectable for deterministic tests.
 	Clock func() time.Time
+
+	// TraceRing sizes the in-memory ring of finished request traces
+	// served at GET /tracez; <= 0 disables tracing entirely (every span
+	// operation degenerates to one nil check, so compile output and
+	// throughput are identical to a traceless build).
+	TraceRing int
+	// TraceSLO marks traces at or above this duration as SLO breaches,
+	// which the ring preferentially retains. <= 0 falls back to SLO,
+	// then to 1s.
+	TraceSLO time.Duration
+	// AccessLog, when non-nil, receives one structured line per request
+	// ("access": request ID, status, latency, outcome, admission and
+	// brownout detail). Nil disables access logging.
+	AccessLog *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -154,6 +171,12 @@ func (c *Config) fill() {
 	if c.Registry == nil {
 		c.Registry = metrics.Default()
 	}
+	if c.TraceSLO <= 0 {
+		c.TraceSLO = c.SLO
+	}
+	if c.TraceSLO <= 0 {
+		c.TraceSLO = time.Second
+	}
 }
 
 // Server is the compile service. Create with New; all methods are safe
@@ -168,6 +191,7 @@ type Server struct {
 	lim      *overload.Limiter  // adaptive admission controller
 	brown    *overload.Brownout // nil unless Config.Brownout
 	breakers *overload.Breakers // nil unless Config.BreakerThreshold > 0
+	ring     *trace.Ring        // nil unless Config.TraceRing > 0
 	draining atomic.Bool
 	warn     error // non-fatal setup problems (cache disk tier)
 
@@ -221,6 +245,7 @@ func New(cfg Config) (*Server, error) {
 		queueSec:   cfg.Registry.Histogram("server.queue.seconds", metrics.TimeBuckets),
 	}
 	s.limitGauge.Set(int64(s.lim.Limit()))
+	s.ring = trace.NewRing(cfg.TraceRing, cfg.TraceSLO)
 	s.pipeFaults = pipelineFaults(cfg.Faults)
 	if cfg.Brownout {
 		s.brown = overload.NewBrownout(overload.BrownoutConfig{Clock: cfg.Clock})
@@ -255,6 +280,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/tracez", s.handleTracez)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -364,7 +391,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	fmt.Fprintf(w, "mariond: Marion compile service\n\nPOST /compile   {source, lang, target, strategy, options} -> assembly JSON\nGET  /healthz   liveness\nGET  /readyz    readiness (503 while draining)\nGET  /statz     load, admission and cache statistics\nGET  /debug/vars, /debug/pprof/\n")
+	fmt.Fprintf(w, "mariond: Marion compile service\n\nPOST /compile   {source, lang, target, strategy, options} -> assembly JSON\nGET  /healthz   liveness\nGET  /readyz    readiness (503 while draining)\nGET  /statz     load, admission and cache statistics\nGET  /metrics   Prometheus text exposition of every instrument\nGET  /tracez    retained request traces (?id=<request id> for one span tree)\nGET  /debug/vars, /debug/pprof/\n")
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -407,18 +434,147 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		bs := s.breakers.Snapshot()
 		st.BreakerTrips, st.BreakerResets = bs.Trips, bs.Resets
 	}
+	if s.ring != nil {
+		st.TraceCount, st.TraceCapacity = s.ring.Len(), s.ring.Cap()
+	}
+	st.Latency = latencyQuantiles(s.cfg.Registry.Snapshot())
 	writeJSON(w, http.StatusOK, st)
 }
 
+// latencyQuantiles computes p50/p90/p99 in milliseconds for every
+// duration histogram (names ending ".seconds") that has samples.
+func latencyQuantiles(snap metrics.Snapshot) map[string]map[string]float64 {
+	var out map[string]map[string]float64
+	for name, h := range snap.Histograms {
+		if !strings.HasSuffix(name, ".seconds") || h.Count == 0 {
+			continue
+		}
+		if out == nil {
+			out = map[string]map[string]float64{}
+		}
+		out[name] = map[string]float64{
+			"p50": h.Quantile(0.50) * 1e3,
+			"p90": h.Quantile(0.90) * 1e3,
+			"p99": h.Quantile(0.99) * 1e3,
+		}
+	}
+	return out
+}
+
+// handleMetrics renders the whole registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metrics.WritePrometheus(w, s.cfg.Registry.Snapshot())
+}
+
+// handleTracez serves the trace ring: the summary list, or one full
+// span tree with ?id=<request id>.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if s.ring == nil {
+		writeJSON(w, http.StatusNotFound,
+			&ErrorResponse{Error: "tracing disabled (start with a trace ring > 0)"})
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		t, ok := s.ring.Get(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound,
+				&ErrorResponse{Error: "no retained trace with id " + strconv.Quote(id)})
+			return
+		}
+		writeJSON(w, http.StatusOK, t)
+		return
+	}
+	writeJSON(w, http.StatusOK, &Tracez{
+		Capacity: s.ring.Cap(),
+		SLOMs:    float64(s.ring.SLO()) / float64(time.Millisecond),
+		Traces:   s.ring.List(),
+	})
+}
+
+// reqState accumulates what the access log and the finished trace need
+// to know about one request; serveCompile fills it as it goes.
+type reqState struct {
+	id       string
+	outcome  string
+	target   string
+	strategy string
+	queueMs  float64
+	brownout int
+	cache    string
+}
+
+// statusWriter captures the response status for the trace and the
+// access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handleCompile wraps one compile in its observability envelope —
+// request identity, root trace span, access log — and delegates the
+// actual work to serveCompile. Every answer, success or rejection,
+// echoes the request ID, lands one access-log line, and (with tracing
+// on) leaves one finished trace in the ring.
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	s.requests.Inc()
+
+	// Request identity: the client's ID when it is safe to echo and log
+	// (trace.ValidID), a server-generated one otherwise. Set on the
+	// answer before any handler path can write headers.
+	id := r.Header.Get(RequestIDHeader)
+	if !trace.ValidID(id) {
+		id = trace.NewID()
+	}
+	w.Header().Set(RequestIDHeader, id)
+
+	var root *trace.Span
+	if s.ring != nil {
+		root = trace.New(id, "compile")
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	st := &reqState{id: id, outcome: "ok"}
+	defer s.finishRequest(st, root, sw, started)
+
+	s.serveCompile(sw, r, started, root, st)
+}
+
+// finishRequest closes out one request: finishes the root span into the
+// ring and emits the structured access-log line.
+func (s *Server) finishRequest(st *reqState, root *trace.Span, sw *statusWriter, started time.Time) {
+	s.ring.Add(root.Finish(st.outcome, sw.status))
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	s.cfg.AccessLog.LogAttrs(context.Background(), slog.LevelInfo, "access",
+		slog.String("id", st.id),
+		slog.Int("status", sw.status),
+		slog.Float64("latency_ms", float64(time.Since(started))/float64(time.Millisecond)),
+		slog.String("outcome", st.outcome),
+		slog.String("target", st.target),
+		slog.String("strategy", st.strategy),
+		slog.Float64("queue_ms", st.queueMs),
+		slog.Int("brownout_level", st.brownout),
+		slog.String("cache", st.cache),
+	)
+}
+
+func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, started time.Time, root *trace.Span, st *reqState) {
 	if r.Method != http.MethodPost {
+		st.outcome = "bad-request"
 		w.Header().Set("Allow", http.MethodPost)
 		s.fail(w, http.StatusMethodNotAllowed, "POST only", nil)
 		return
 	}
 	if s.draining.Load() {
+		st.outcome = "draining"
 		s.reject(w, http.StatusServiceUnavailable, "draining", nil)
 		return
 	}
@@ -426,11 +582,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	var req CompileRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		st.outcome = "bad-request"
 		s.fail(w, http.StatusBadRequest, "bad request body: "+err.Error(), nil)
 		return
 	}
+	st.target = req.Target
+	root.Attr("target", req.Target)
 	m, ok := s.machines[req.Target]
 	if !ok {
+		st.outcome = "bad-request"
 		s.fail(w, http.StatusBadRequest,
 			fmt.Sprintf("unknown target %q (serving %v)", req.Target, s.cfg.Targets), nil)
 		return
@@ -441,6 +601,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	kind, err := strategy.ParseKind(stratName)
 	if err != nil {
+		st.outcome = "bad-request"
 		s.fail(w, http.StatusBadRequest, err.Error(), nil)
 		return
 	}
@@ -451,6 +612,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if h := r.Header.Get(DeadlineHeader); h != "" {
 		ms, perr := strconv.ParseInt(h, 10, 64)
 		if perr != nil || ms <= 0 {
+			st.outcome = "bad-request"
 			s.fail(w, http.StatusBadRequest, "bad "+DeadlineHeader+" header", nil)
 			return
 		}
@@ -463,20 +625,27 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// bounded queue, be shed (queue full, or doomed: remaining deadline
 	// below the service estimate), or expire while queued.
 	queued := time.Now()
-	release, dec := s.lim.Acquire(ctx)
+	asp := root.Child("admission")
+	release, dec := s.lim.AcquireTraced(ctx, asp)
+	asp.Attr("decision", dec.String())
+	asp.End()
+	st.queueMs = float64(time.Since(queued)) / float64(time.Millisecond)
 	s.queueSec.ObserveDuration(time.Since(queued))
 	switch dec {
 	case overload.ShedFull:
+		st.outcome = "shed-full"
 		s.shed.Inc()
 		s.reject(w, http.StatusTooManyRequests, "over capacity, retry later", nil)
 		return
 	case overload.ShedDoomed:
+		st.outcome = "shed-doomed"
 		s.shed.Inc()
 		s.evictedC.Inc()
 		s.reject(w, http.StatusTooManyRequests,
 			"remaining deadline below the service estimate; shed instead of queued", nil)
 		return
 	case overload.Expired:
+		st.outcome = "expired"
 		s.expired.Inc()
 		s.fail(w, http.StatusGatewayTimeout, "deadline expired while queued", nil)
 		return
@@ -498,10 +667,17 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if s.brown != nil {
 		lvl = s.brown.Observe(s.lim.Pressure())
 		s.levelGauge.Set(int64(lvl))
+		if lvl > 0 {
+			root.Event("brownout", "level", strconv.Itoa(lvl))
+		}
 	}
+	st.brownout = lvl
 
+	lsp := root.Child("lower")
 	mod, status, lerr := s.lower(&req)
+	lsp.End()
 	if lerr != nil {
+		st.outcome = "bad-request"
 		s.failed.Inc()
 		s.fail(w, status, lerr.Error(), nil)
 		return
@@ -529,15 +705,19 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			if !found {
+				st.outcome = "circuit-open"
 				s.failed.Inc()
 				s.reject(w, http.StatusServiceUnavailable,
 					"every strategy for this target is circuit-broken, retry later", nil)
 				return
 			}
 			reroute = orig + " -> " + bkey
+			root.Event("breaker.reroute", "from", orig, "to", bkey)
 			s.rerouted.Inc()
 		}
 	}
+	st.strategy = effective.String()
+	root.Attr("strategy", effective.String())
 
 	dcfg := driver.Config{
 		Strategy:     effective,
@@ -557,7 +737,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		dcfg.Budget = time.Duration(opts.BudgetMs) * time.Millisecond
 	}
 
-	res, cerr := s.compileGuarded(ctx, m, mod, dcfg, bkey)
+	csp := root.Child("compile")
+	dcfg.Span = csp
+	res, cerr := s.compileGuarded(ctx, m, mod, dcfg, bkey, csp)
+	csp.End()
 	// This request reached the compile: its service time is an SLO
 	// sample, counted against the SLO when its deadline cut it off.
 	if ctx.Err() != nil {
@@ -568,7 +751,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if s.breakers != nil {
 		switch {
 		case breakerRelevant(cerr):
-			if s.breakers.Failure(bkey) {
+			if s.breakers.FailureTraced(bkey, root) {
 				s.quarantine(&req, bkey, effective, dcfg, cerr)
 			}
 		case cacheOnly:
@@ -586,6 +769,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		diags := toDiags(cerr)
 		if cacheOnly && cacheOnlyMiss(cerr) {
 			// Deepest brownout level: only warm functions are served.
+			st.outcome = "shed-cache-only"
 			s.shed.Inc()
 			s.reject(w, http.StatusTooManyRequests,
 				"brownout cache-only: not in cache, retry later", diags)
@@ -595,10 +779,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			// The request deadline (or a gone client) interrupted the
 			// back end: the structured per-function diagnostics say
 			// exactly which functions were cut off where.
+			st.outcome = "expired"
 			s.expired.Inc()
 			s.fail(w, http.StatusGatewayTimeout, "deadline exceeded: "+ctx.Err().Error(), diags)
 			return
 		}
+		st.outcome = "failed"
 		s.failed.Inc()
 		msg := "compile failed"
 		if len(diags) == 0 {
@@ -610,6 +796,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	st.cache = cacheStatus(res.CacheHits, len(mod.Funcs))
 	s.accepted.Inc()
 	elapsed := time.Since(started)
 	s.compileSec.ObserveDuration(elapsed)
@@ -624,6 +811,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		BrownoutLevel:  lvl,
 		Brownout:       notes,
 		BreakerReroute: reroute,
+		RequestID:      st.id,
+		CacheHits:      res.CacheHits,
 	}
 	for _, d := range res.Degradations {
 		resp.Degradations = append(resp.Degradations, d.String())
@@ -686,19 +875,37 @@ func capStrategy(k strategy.Kind) strategy.Kind {
 // site and last-resort panic isolation (the pipeline already isolates
 // phase panics; this guard covers the serve site and anything outside
 // the pipeline's recover).
-func (s *Server) compileGuarded(ctx context.Context, m *mach.Machine, mod *ir.Module, dcfg driver.Config, key string) (res *driver.Compiled, err error) {
+func (s *Server) compileGuarded(ctx context.Context, m *mach.Machine, mod *ir.Module, dcfg driver.Config, key string, sp *trace.Span) (res *driver.Compiled, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, &servePanicError{val: r}
 		}
 	}()
 	if !s.cfg.Faults.Empty() {
+		// The serve site under its own span: a hang-mode fault parks here
+		// until the deadline, and the span is what shows it.
+		fsp := sp.Child("serve")
 		inj := faults.New(s.cfg.Faults, ctx, key, s.nextSeq(key), 0)
-		if ferr := inj.Fire("serve"); ferr != nil {
+		ferr := inj.Fire("serve")
+		fsp.End()
+		if ferr != nil {
+			fsp.Attr("error", ferr.Error())
 			return nil, ferr
 		}
 	}
 	return driver.CompileModuleCtx(ctx, m, mod, dcfg)
+}
+
+// cacheStatus classifies how much of a module the compilation cache
+// served: "hit" (all functions), "partial", or "miss".
+func cacheStatus(hits, funcs int) string {
+	switch {
+	case funcs > 0 && hits >= funcs:
+		return "hit"
+	case hits > 0:
+		return "partial"
+	}
+	return "miss"
 }
 
 // servePanicError is a panic recovered at the serve level, wrapped so

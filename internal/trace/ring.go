@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Ring is the bounded in-memory store of finished traces behind
+// GET /tracez. Retention is not plain FIFO: the ring keeps the traces
+// an operator actually wants when they come looking —
+//
+//   - the slowest trace ever offered is never evicted;
+//   - SLO-breach traces (duration >= the configured threshold) are kept
+//     in preference to healthy ones, up to a quota of the capacity, so
+//     a burst of breaches cannot be washed away by later fast traffic;
+//   - a reserve of the capacity (one quarter, at least one slot) always
+//     cycles recent healthy traces, so /tracez shows live traffic even
+//     when the breach quota is full.
+//
+// All methods are safe for concurrent use; a nil *Ring drops
+// everything (tracing disabled).
+type Ring struct {
+	mu  sync.Mutex
+	cap int
+	slo time.Duration
+	seq uint64
+	its []entry
+}
+
+type entry struct {
+	t   *Trace
+	seq uint64
+}
+
+// NewRing builds a ring holding up to capacity traces; capacity <= 0
+// returns nil (tracing off). slo > 0 marks traces at or above it as
+// SLO breaches, which the retention policy prefers to keep.
+func NewRing(capacity int, slo time.Duration) *Ring {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Ring{cap: capacity, slo: slo}
+}
+
+// Cap returns the ring's capacity (0 on nil).
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return r.cap
+}
+
+// SLO returns the breach threshold (0 on nil).
+func (r *Ring) SLO() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.slo
+}
+
+// Len returns the number of retained traces.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.its)
+}
+
+// Add offers a finished trace to the ring, stamping t.Breach against
+// the SLO threshold. When full, one trace is evicted per the retention
+// policy (possibly the newcomer itself).
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t.Breach = r.slo > 0 && t.Duration() >= r.slo
+	r.seq++
+	r.its = append(r.its, entry{t: t, seq: r.seq})
+	if len(r.its) > r.cap {
+		r.evictLocked()
+	}
+}
+
+// evictLocked removes one trace: never the slowest; the oldest breach
+// when breaches exceed their quota, else the oldest healthy trace,
+// falling back to the oldest breach when no healthy candidate exists.
+func (r *Ring) evictLocked() {
+	slowest := 0
+	breaches := 0
+	for i, e := range r.its {
+		if e.t.DurationUs > r.its[slowest].t.DurationUs {
+			slowest = i
+		}
+		if e.t.Breach {
+			breaches++
+		}
+	}
+	reserve := r.cap / 4
+	if reserve < 1 {
+		reserve = 1
+	}
+	overQuota := breaches > r.cap-reserve
+
+	victim := -1
+	pick := func(wantBreach bool) int {
+		best := -1
+		for i, e := range r.its {
+			if i == slowest || e.t.Breach != wantBreach {
+				continue
+			}
+			if best == -1 || e.seq < r.its[best].seq {
+				best = i
+			}
+		}
+		return best
+	}
+	if overQuota {
+		victim = pick(true)
+	}
+	if victim == -1 {
+		victim = pick(false)
+	}
+	if victim == -1 {
+		victim = pick(true)
+	}
+	if victim == -1 {
+		// Only the slowest remains (capacity 1 and the newcomer IS the
+		// slowest): drop the older of the two.
+		victim = 0
+	}
+	r.its = append(r.its[:victim], r.its[victim+1:]...)
+}
+
+// Summary is one trace's /tracez list entry.
+type Summary struct {
+	ID         string    `json:"id"`
+	Start      time.Time `json:"start"`
+	DurationUs int64     `json:"duration_us"`
+	Outcome    string    `json:"outcome"`
+	Status     int       `json:"status,omitempty"`
+	Breach     bool      `json:"slo_breach,omitempty"`
+	Spans      int       `json:"spans"`
+}
+
+// List returns summaries of every retained trace, newest first.
+func (r *Ring) List() []Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	its := append([]entry(nil), r.its...)
+	r.mu.Unlock()
+	sort.Slice(its, func(i, j int) bool { return its[i].seq > its[j].seq })
+	out := make([]Summary, len(its))
+	for i, e := range its {
+		out[i] = Summary{
+			ID:         e.t.ID,
+			Start:      e.t.Start,
+			DurationUs: e.t.DurationUs,
+			Outcome:    e.t.Outcome,
+			Status:     e.t.Status,
+			Breach:     e.t.Breach,
+			Spans:      len(e.t.Spans),
+		}
+	}
+	return out
+}
+
+// Get returns the retained trace with the given ID (the newest, should
+// a client have reused an ID).
+func (r *Ring) Get(id string) (*Trace, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best *Trace
+	var bestSeq uint64
+	for _, e := range r.its {
+		if e.t.ID == id && (best == nil || e.seq > bestSeq) {
+			best, bestSeq = e.t, e.seq
+		}
+	}
+	return best, best != nil
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mk builds a finished trace of the given duration directly; retention
+// tests need exact durations, not wall clocks.
+func mk(id string, d time.Duration) *Trace {
+	us := d.Microseconds()
+	return &Trace{
+		ID:         id,
+		DurationUs: us,
+		Outcome:    "ok",
+		Spans:      []SpanRecord{{ID: 0, Parent: -1, Name: "r", DurUs: us}},
+	}
+}
+
+func ids(sums []Summary) map[string]bool {
+	out := map[string]bool{}
+	for _, s := range sums {
+		out[s.ID] = true
+	}
+	return out
+}
+
+func TestRingNil(t *testing.T) {
+	var r *Ring
+	r.Add(mk("x", time.Second)) // must not panic
+	if r.Len() != 0 || r.Cap() != 0 || r.SLO() != 0 || r.List() != nil {
+		t.Fatal("nil ring is not inert")
+	}
+	if _, ok := r.Get("x"); ok {
+		t.Fatal("nil ring returned a trace")
+	}
+	if NewRing(0, time.Second) != nil {
+		t.Fatal("NewRing(0) != nil")
+	}
+}
+
+func TestRingBoundAndOrder(t *testing.T) {
+	r := NewRing(4, 0)
+	for i := 0; i < 10; i++ {
+		r.Add(mk(fmt.Sprintf("t%d", i), time.Duration(i)*time.Millisecond))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	l := r.List()
+	for i := 1; i < len(l); i++ {
+		if l[i-1].Start.Before(l[i].Start) && l[i-1].ID < l[i].ID {
+			t.Errorf("List not newest-first: %q before %q", l[i-1].ID, l[i].ID)
+		}
+	}
+	if l[0].ID != "t9" {
+		t.Errorf("newest = %q, want t9", l[0].ID)
+	}
+}
+
+// The slowest trace ever offered survives any amount of later traffic.
+func TestRingKeepsSlowest(t *testing.T) {
+	r := NewRing(4, 0)
+	r.Add(mk("slow", 500*time.Millisecond))
+	for i := 0; i < 100; i++ {
+		r.Add(mk(fmt.Sprintf("fast%d", i), time.Millisecond))
+	}
+	if _, ok := r.Get("slow"); !ok {
+		t.Fatal("slowest trace was evicted")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+}
+
+// Breach traces are preferred over healthy ones: a burst of breaches
+// followed by fast traffic keeps the breaches (up to quota).
+func TestRingBreachRetention(t *testing.T) {
+	r := NewRing(8, 100*time.Millisecond)
+	for i := 0; i < 5; i++ {
+		r.Add(mk(fmt.Sprintf("breach%d", i), 200*time.Millisecond))
+	}
+	for i := 0; i < 50; i++ {
+		r.Add(mk(fmt.Sprintf("fast%d", i), time.Millisecond))
+	}
+	got := ids(r.List())
+	for i := 0; i < 5; i++ {
+		if !got[fmt.Sprintf("breach%d", i)] {
+			t.Errorf("breach%d washed away by fast traffic", i)
+		}
+	}
+	// The healthy reserve still cycles recent traffic.
+	if !got["fast49"] {
+		t.Error("newest healthy trace not retained")
+	}
+}
+
+// Breaches beyond their quota (cap - reserve) evict oldest-breach
+// first, leaving the healthy reserve intact.
+func TestRingBreachQuota(t *testing.T) {
+	r := NewRing(8, 100*time.Millisecond) // reserve = 2, quota = 6
+	for i := 0; i < 20; i++ {
+		r.Add(mk(fmt.Sprintf("breach%d", i), 200*time.Millisecond))
+	}
+	for i := 0; i < 4; i++ {
+		r.Add(mk(fmt.Sprintf("fast%d", i), time.Millisecond))
+	}
+	got := r.List()
+	breaches, healthy := 0, 0
+	for _, s := range got {
+		if s.Breach {
+			breaches++
+		} else {
+			healthy++
+		}
+	}
+	if breaches > 6 {
+		t.Errorf("%d breaches retained, quota is 6", breaches)
+	}
+	if healthy < 2 {
+		t.Errorf("%d healthy retained, reserve is 2", healthy)
+	}
+	m := ids(got)
+	if !m["breach19"] {
+		t.Error("newest breach evicted before older ones")
+	}
+}
+
+func TestRingBreachStamp(t *testing.T) {
+	r := NewRing(4, 100*time.Millisecond)
+	at := mk("at", 100*time.Millisecond)
+	under := mk("under", 99*time.Millisecond)
+	r.Add(at)
+	r.Add(under)
+	if !at.Breach {
+		t.Error("duration == SLO not stamped as breach")
+	}
+	if under.Breach {
+		t.Error("duration < SLO stamped as breach")
+	}
+	// SLO 0 never breaches.
+	r0 := NewRing(4, 0)
+	tr := mk("x", time.Hour)
+	r0.Add(tr)
+	if tr.Breach {
+		t.Error("breach stamped with no SLO configured")
+	}
+}
+
+func TestRingGet(t *testing.T) {
+	r := NewRing(4, 0)
+	r.Add(mk("a", time.Millisecond))
+	r.Add(mk("b", 2*time.Millisecond))
+	if tr, ok := r.Get("a"); !ok || tr.ID != "a" {
+		t.Fatalf("Get(a) = %v, %v", tr, ok)
+	}
+	if _, ok := r.Get("zz"); ok {
+		t.Fatal("Get of unknown ID succeeded")
+	}
+	// Duplicate IDs: the newest wins.
+	dup := mk("a", 3*time.Millisecond)
+	r.Add(dup)
+	if tr, _ := r.Get("a"); tr != dup {
+		t.Fatal("Get did not return the newest duplicate")
+	}
+}
+
+// Concurrent Add/List/Get under -race; the capacity invariant must
+// hold throughout.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(16, 50*time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(mk(fmt.Sprintf("w%d-%d", w, i), time.Duration(i)*time.Millisecond))
+				if i%17 == 0 {
+					r.List()
+					r.Get(fmt.Sprintf("w%d-%d", w, i))
+				}
+				if n := r.Len(); n > 16 {
+					t.Errorf("Len = %d exceeds capacity", n)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := r.Len(); n != 16 {
+		t.Fatalf("final Len = %d, want 16", n)
+	}
+}

@@ -1,0 +1,111 @@
+#!/bin/sh
+# tracesmoke: end-to-end smoke for mariond's observability surface.
+#
+# Boots mariond (race-instrumented) with a small trace ring, a tight
+# trace SLO, a JSON access log, and one deterministic serve-site hang
+# against r2000/postpass, then proves, in order:
+#   1. a burst with short deadlines turns the hang into exactly one
+#      504 while everything else succeeds, and marionload surfaces the
+#      slow request's ID;
+#   2. marionload -tracecheck: GET /metrics parses as Prometheus text
+#      exposition (and carries the request counter), GET /tracez
+#      retains the SLO-breaching expired trace with a span tree
+#      covering >=95% of its wall time, and every access-log line is
+#      structured JSON carrying the slow request's ID exactly once;
+#   3. served assembly is byte-identical to marionc — and to a second
+#      mariond running with tracing and access logging off
+#      (-trace-ring 0), so observability never touches output;
+#   4. SIGTERM drains cleanly.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=
+pid2=
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    [ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "tracesmoke: building (mariond with -race)"
+$GO build -race -o "$tmp/mariond" ./cmd/mariond
+$GO build -o "$tmp/marionload" ./cmd/marionload
+$GO build -o "$tmp/marionc" ./cmd/marionc
+
+wait_addr() {
+    # wait_addr <addrfile> <pid>: poll until the daemon writes its
+    # address, failing if it dies first.
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ] || ! kill -0 "$2" 2>/dev/null; then
+            echo "tracesmoke: FAIL: mariond never came up" >&2
+            cat "$tmp"/mariond*.log >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+"$tmp/mariond" -addr 127.0.0.1:0 -addrfile "$tmp/addr" \
+    -admit 2 -queue 8 \
+    -trace-ring 64 -trace-slo-ms 100 -accesslog "$tmp/access.log" \
+    -faults 'serve:hang@fn=r2000/postpass@max=1' \
+    >"$tmp/mariond.log" 2>&1 &
+pid=$!
+wait_addr "$tmp/addr" "$pid"
+addr=$(head -n 1 "$tmp/addr")
+echo "tracesmoke: mariond up at $addr (trace ring 64, SLO 100ms, hang armed)"
+
+# 1. Burst with a 400ms deadline: the armed hang parks exactly one
+#    r2000/postpass request until its deadline (one 504, tolerated by
+#    -max-other 1); everything else must succeed. -slowest prints the
+#    hung request's ID, the handle into /tracez.
+"$tmp/marionload" -addr "$addr" -n 40 -c 8 \
+    -targets r2000,m88000 -deadline 400 -max-other 1 -slowest 3
+
+# 2. Audit the observability surface: /metrics, /tracez, access log.
+"$tmp/marionload" -addr "$addr" -tracecheck -accesslog "$tmp/access.log"
+
+# 3. Observability must never touch compile output: the traced server
+#    and an untraced one (-trace-ring 0 -accesslog off) must both serve
+#    bytes identical to marionc.
+"$tmp/mariond" -addr 127.0.0.1:0 -addrfile "$tmp/addr2" \
+    -trace-ring 0 -accesslog off \
+    >"$tmp/mariond2.log" 2>&1 &
+pid2=$!
+wait_addr "$tmp/addr2" "$pid2"
+addr2=$(head -n 1 "$tmp/addr2")
+for f in examples/c/*.c; do
+    "$tmp/marionc" -target r2000 -strategy postpass "$f" >"$tmp/want.s"
+    "$tmp/marionload" -addr "$addr" -one "$f" \
+        -target r2000 -strategy postpass >"$tmp/got.s"
+    if ! cmp -s "$tmp/want.s" "$tmp/got.s"; then
+        echo "tracesmoke: FAIL: traced server output differs from marionc for $f" >&2
+        exit 1
+    fi
+    "$tmp/marionload" -addr "$addr2" -one "$f" \
+        -target r2000 -strategy postpass >"$tmp/got0.s"
+    if ! cmp -s "$tmp/want.s" "$tmp/got0.s"; then
+        echo "tracesmoke: FAIL: untraced server output differs from marionc for $f" >&2
+        exit 1
+    fi
+done
+echo "tracesmoke: output byte-identical to marionc with tracing on and off"
+kill -TERM "$pid2"
+wait "$pid2" || { echo "tracesmoke: FAIL: untraced drain failed" >&2; exit 1; }
+pid2=
+
+# 4. Graceful drain of the traced server.
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=
+if [ "$status" -ne 0 ] || ! grep -q "drained" "$tmp/mariond.log"; then
+    echo "tracesmoke: FAIL: drain exited $status" >&2
+    cat "$tmp/mariond.log" >&2
+    exit 1
+fi
+echo "tracesmoke: PASS (metrics parse, slow trace retained, access log clean, drain clean)"
